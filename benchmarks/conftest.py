@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index), prints the reproduced rows next
+to the paper's qualitative targets, asserts the *shape* relations (who
+wins, by roughly what factor), and times a representative inner
+operation with pytest-benchmark.
+"""
+
+import numpy as np
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a compact aligned table to the bench log."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits=2):
+    """Format a float for table printing."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float) and not np.isfinite(value):
+        return "inf"
+    return f"{value:.{digits}f}"

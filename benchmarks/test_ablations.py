@@ -1,0 +1,132 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. **Locally-weighted vs globally-weighted BMA** — the paper's key
+   difference from prior BMA fusion [29]: per-location weights from
+   real-time context beat one fixed weight per scheme for a whole place.
+2. **Uniform-weight averaging** — BMA weights must carry information;
+   plain averaging of all available schemes is worse.
+3. **Fingerprint density** — downsampling the Wi-Fi survey (the paper's
+   5/10/15 m study) degrades RADAR, which is exactly the signal the
+   error model's beta_1 feature keys on.
+"""
+
+import numpy as np
+
+from conftest import fmt, print_table
+from repro.core import normalized_weights
+from repro.eval import build_framework, run_walk
+from repro.eval.experiments import place_setup, shared_models
+from repro.geometry import Point
+
+
+def _rerun_with_fixed_weights(result, grid, weights_by_scheme):
+    """Recompute fused estimates from recorded outputs with fixed weights."""
+    errors = []
+    for record in result.records:
+        mixture = np.zeros(grid.n_cells)
+        total = 0.0
+        for name, weight in weights_by_scheme.items():
+            output = record.decision.outputs.get(name)
+            if output is None or weight <= 0.0:
+                continue
+            mixture += weight * output.grid_posterior(grid)
+            total += weight
+        if total <= 0.0:
+            continue
+        fused = grid.expected_point(mixture)
+        errors.append(fused.distance_to(record.moment.position))
+    return errors
+
+
+def test_locally_weighted_bma_beats_global_and_uniform(benchmark):
+    setup = place_setup("daily", 0)
+    models = shared_models(0)
+    walk, snaps = setup.record_walk("path1", walk_seed=0, trace_seed=1)
+    framework = build_framework(setup, models, walk.moments[0].position, scheme_seed=11)
+    result = run_walk(framework, setup.place, "path1", walk, snaps)
+    grid = framework.grid
+
+    local = float(np.mean(result.errors("uniloc2")))
+
+    # Global weights: each scheme's average confidence over the walk
+    # (what a place-level BMA like [29] would learn).
+    sums, counts = {}, {}
+    for record in result.records:
+        for name, c in record.decision.confidences.items():
+            sums[name] = sums.get(name, 0.0) + c
+            counts[name] = counts.get(name, 0) + 1
+    global_weights = normalized_weights(
+        {name: sums[name] / counts[name] for name in sums}
+    )
+    global_errors = _rerun_with_fixed_weights(result, grid, global_weights)
+    global_mean = float(np.mean(global_errors))
+
+    uniform_weights = {name: 1.0 for name in framework.bundles}
+    uniform_errors = _rerun_with_fixed_weights(result, grid, uniform_weights)
+    uniform_mean = float(np.mean(uniform_errors))
+
+    print_table(
+        "Ablation: BMA weighting strategies (daily path, mean error m)",
+        ["strategy", "mean error"],
+        [
+            ["locally weighted (UniLoc2)", fmt(local)],
+            ["global per-scheme weights", fmt(global_mean)],
+            ["uniform weights", fmt(uniform_mean)],
+        ],
+    )
+    assert local < global_mean
+    assert local < uniform_mean
+
+    benchmark(lambda: _rerun_with_fixed_weights(result, grid, global_weights))
+
+
+def test_fingerprint_density_degrades_radar(benchmark):
+    """The paper's downsampling study: coarser surveys -> higher error."""
+    from repro.schemes import RadarScheme
+
+    setup = place_setup("office", 0)
+    walk, snaps = setup.record_walk("survey", walk_seed=31, trace_seed=32)
+    means = {}
+    for spacing in (3.0, 6.0, 12.0):
+        db = setup.wifi_db if spacing == 3.0 else setup.wifi_db.downsample(spacing)
+        scheme = RadarScheme(db)
+        errors = []
+        for moment, snap in zip(walk.moments, snaps):
+            out = scheme.estimate(snap)
+            if out is not None:
+                errors.append(out.position.distance_to(moment.position))
+        means[spacing] = float(np.mean(errors))
+    print_table(
+        "Ablation: fingerprint spacing vs RADAR error (office)",
+        ["spacing (m)", "mean error (m)", "db size"],
+        [
+            [fmt(s, 0), fmt(means[s]), len(setup.wifi_db.downsample(s)) if s > 3.0 else len(setup.wifi_db)]
+            for s in means
+        ],
+    )
+    assert means[3.0] < means[6.0] < means[12.0] * 1.2
+    assert means[12.0] > means[3.0] * 1.5
+
+    benchmark(lambda: setup.wifi_db.downsample(6.0))
+
+
+def test_grid_resolution_stability(benchmark):
+    """UniLoc2 is insensitive to the BMA grid cell size (2 m vs 4 m)."""
+    setup = place_setup("daily", 0)
+    models = shared_models(0)
+    means = {}
+    for cell in (2.0, 4.0):
+        walk, snaps = setup.record_walk("path1", walk_seed=2, trace_seed=3)
+        fw = build_framework(
+            setup, models, walk.moments[0].position, scheme_seed=13, grid_cell_m=cell
+        )
+        result = run_walk(fw, setup.place, "path1", walk, snaps)
+        means[cell] = float(np.mean(result.errors("uniloc2")))
+    print_table(
+        "Ablation: BMA grid resolution",
+        ["cell (m)", "uniloc2 mean error (m)"],
+        [[fmt(c, 0), fmt(m)] for c, m in means.items()],
+    )
+    assert abs(means[2.0] - means[4.0]) < 1.5
+
+    benchmark(lambda: None)

@@ -1,0 +1,68 @@
+"""Figure 2 — motivation: scheme errors along the 320 m daily path.
+
+Paper targets: no single scheme is stable across the whole path;
+Wi-Fi/GPS are unavailable in the basement where cellular becomes
+competitive; GPS only works outdoors (error ~13.5 m); schemes
+complement each other (different winners at different locations).
+"""
+
+import numpy as np
+
+from conftest import fmt, print_table
+from repro.eval.experiments import fig2_motivation
+from repro.world import EnvironmentType as Env
+
+SEGMENTS = [Env.OFFICE, Env.CORRIDOR, Env.BASEMENT, Env.CAR_PARK, Env.OPEN_SPACE]
+SCHEMES = ["gps", "wifi", "cellular", "motion", "fusion"]
+
+
+def _segment_means(rows):
+    table = {}
+    for scheme in SCHEMES:
+        table[scheme] = {}
+        for env in SEGMENTS:
+            values = [r.errors[scheme] for r in rows if r.environment is env and scheme in r.errors]
+            table[scheme][env] = float(np.mean(values)) if values else None
+    return table
+
+
+def test_fig2_motivation(benchmark):
+    rows = fig2_motivation()
+    means = _segment_means(rows)
+    print_table(
+        "Fig. 2: per-segment mean error (m) of the five schemes",
+        ["scheme"] + [e.value for e in SEGMENTS],
+        [[s] + [fmt(means[s][e]) for e in SEGMENTS] for s in SCHEMES],
+    )
+
+    # GPS: outdoors only, error in the paper's 13.5 m regime.
+    assert means["gps"][Env.OFFICE] is None
+    assert means["gps"][Env.BASEMENT] is None
+    assert 6.0 < means["gps"][Env.OPEN_SPACE] < 25.0
+
+    # Wi-Fi: dead in the basement, excellent in the AP-dense office.
+    assert means["wifi"][Env.BASEMENT] is None or not any(
+        Env.BASEMENT is r.environment and "wifi" in r.errors for r in rows
+    ) or means["wifi"][Env.BASEMENT] > means["wifi"][Env.OFFICE]
+    assert means["wifi"][Env.OFFICE] < 4.0
+
+    # Cellular is coarse but works everywhere, including the basement.
+    assert means["cellular"][Env.BASEMENT] is not None
+
+    # No scheme is stable across segments.  Wi-Fi / motion / fusion swing
+    # hard between their best and worst environments; cellular is the
+    # "uniformly coarse" scheme, so its swing is smaller but still real.
+    for scheme in ("wifi", "motion", "fusion"):
+        values = [v for v in means[scheme].values() if v is not None]
+        assert max(values) / max(min(values), 0.2) > 2.5
+    cell_values = [v for v in means["cellular"].values() if v is not None]
+    assert max(cell_values) / max(min(cell_values), 0.2) > 1.5
+
+    # Diversity: at least 3 different schemes win somewhere along the path.
+    winners = {
+        min(r.errors, key=r.errors.get) for r in rows if r.errors
+    }
+    assert len(winners) >= 3
+
+    # Benchmark: one full five-scheme sweep of the recorded path.
+    benchmark(fig2_motivation)

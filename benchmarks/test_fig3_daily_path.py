@@ -1,0 +1,56 @@
+"""Figure 3 — OptSel vs UniLoc2 along the daily path.
+
+Paper targets: UniLoc1 tracks the oracle selection closely; UniLoc2
+outperforms UniLoc1 overall and beats even the oracle at a meaningful
+fraction of locations (especially outdoors, where individual errors are
+large and averaging pays).
+"""
+
+import numpy as np
+
+from conftest import fmt, print_table
+from repro.eval.experiments import daily_path_result
+from repro.world import EnvironmentType as Env
+
+SEGMENTS = [Env.OFFICE, Env.CORRIDOR, Env.BASEMENT, Env.CAR_PARK, Env.OPEN_SPACE]
+
+
+def test_fig3_optsel_vs_uniloc(benchmark):
+    result = daily_path_result()
+    rows = []
+    for est in ("optsel", "uniloc1", "uniloc2"):
+        rows.append(
+            [est]
+            + [fmt(np.mean(result.errors_in(est, env)) if result.errors_in(est, env) else None) for env in SEGMENTS]
+            + [fmt(np.mean(result.errors(est)))]
+        )
+    print_table(
+        "Fig. 3: OptSel vs UniLoc along the daily path (mean error, m)",
+        ["estimator"] + [e.value for e in SEGMENTS] + ["overall"],
+        rows,
+    )
+
+    # UniLoc2 outperforms UniLoc1 (paper: 2.6 m vs 3.7 m).
+    assert result.mean_error("uniloc2") < result.mean_error("uniloc1")
+
+    # UniLoc2 beats the oracle at a meaningful fraction of locations.
+    wins = sum(
+        1
+        for r in result.records
+        if r.uniloc2_error is not None
+        and r.oracle is not None
+        and r.uniloc2_error < r.oracle.error
+    )
+    win_rate = wins / len(result.records)
+    print(f"uniloc2 beats OptSel at {win_rate:.0%} of locations")
+    assert win_rate > 0.10
+
+    # Benchmark one full framework step (the online pipeline unit).
+    from repro.eval import build_framework
+    from repro.eval.experiments import place_setup, shared_models
+
+    setup = place_setup("daily", 0)
+    walk, snaps = setup.record_walk("path1", walk_seed=3, trace_seed=4)
+    fw = build_framework(setup, shared_models(0), walk.moments[0].position)
+    fw.step(snaps[0])
+    benchmark(fw.step, snaps[1])

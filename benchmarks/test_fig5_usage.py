@@ -1,0 +1,43 @@
+"""Figure 5 — scheme usage: UniLoc1's selections vs the oracle's.
+
+Paper targets: the usage distribution of UniLoc1 is close to the
+oracle's; the fusion scheme is used most where sensor quality is high;
+Wi-Fi usage is substantial indoors; GPS usage is small (it is rarely
+predicted to be the single best scheme).
+"""
+
+import numpy as np
+
+from conftest import fmt, print_table
+from repro.eval.experiments import daily_path_pooled
+from repro.eval.setup import SCHEME_NAMES
+
+
+def test_fig5_scheme_usage(benchmark):
+    result = daily_path_pooled()
+    uniloc1 = result.usage("uniloc1")
+    optsel = result.usage("optsel")
+    print_table(
+        "Fig. 5: scheme usage shares",
+        ["scheme", "uniloc1", "optsel"],
+        [
+            [s, fmt(uniloc1.get(s, 0.0)), fmt(optsel.get(s, 0.0))]
+            for s in SCHEME_NAMES
+        ],
+    )
+
+    # UniLoc1's usage profile is close to the oracle's: total variation
+    # distance below 0.5 (the paper shows closely matching bars).
+    tv = 0.5 * sum(
+        abs(uniloc1.get(s, 0.0) - optsel.get(s, 0.0)) for s in SCHEME_NAMES
+    )
+    print(f"total variation distance: {tv:.2f}")
+    assert tv < 0.5
+
+    # The fusion scheme dominates selections where quality is high.
+    assert uniloc1.get("fusion", 0.0) > 0.15
+
+    # GPS is rarely the single best scheme.
+    assert uniloc1.get("gps", 0.0) < 0.15
+
+    benchmark(result.usage, "uniloc1")

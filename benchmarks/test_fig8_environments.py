@@ -1,0 +1,74 @@
+"""Figure 8a-c — CDFs in the shopping mall, urban open space, and office.
+
+Paper targets: in all three places UniLoc2 provides a clear gain over
+the individual schemes (~1.7x at p50/p90); the mall and urban open
+space are *new places* (error models trained elsewhere); the office
+beats the mall because its signals are more stable and its corridors
+narrower; outdoor errors are larger and less stable for every scheme;
+the mall's cellular scheme suffers from its two audible towers.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt, print_table
+from repro.eval.experiments import fig8_environment
+from repro.eval.metrics import percentile
+from repro.eval.setup import SCHEME_NAMES
+
+
+def _stats(result):
+    out = {}
+    for est in list(SCHEME_NAMES) + ["uniloc1", "uniloc2"]:
+        errors = result.errors(est)
+        if len(errors) >= 20:
+            out[est] = (
+                float(np.mean(errors)),
+                percentile(errors, 50),
+                percentile(errors, 90),
+            )
+    return out
+
+
+@pytest.mark.parametrize("place_name", ["mall", "urban-open-space", "office"])
+def test_fig8_environment(place_name, benchmark):
+    result = fig8_environment(place_name)
+    stats = _stats(result)
+    print_table(
+        f"Fig. 8 ({place_name}): error statistics over 10 trajectories (m)",
+        ["system", "mean", "p50", "p90"],
+        [[e, fmt(m), fmt(p50), fmt(p90)] for e, (m, p50, p90) in stats.items()],
+    )
+
+    available = {s: stats[s] for s in SCHEME_NAMES if s in stats}
+    # UniLoc2's median at least matches the best scheme's median and beats
+    # the *typical* scheme clearly (the paper's 1.7x gain is vs individual
+    # schemes at large).
+    best_p50 = min(v[1] for v in available.values())
+    median_scheme_p50 = float(np.median([v[1] for v in available.values()]))
+    assert stats["uniloc2"][1] <= best_p50 * 1.4
+    assert stats["uniloc2"][1] < median_scheme_p50
+
+    # Tail control relative to the typical scheme (a small tolerance:
+    # when one scheme dominates a place, matching it is the ceiling).
+    median_scheme_p90 = float(np.median([v[2] for v in available.values()]))
+    assert stats["uniloc2"][2] < median_scheme_p90 * 1.25
+
+    benchmark(result.errors, "uniloc2")
+
+
+def test_fig8_office_beats_outdoor_and_mall_cellular_suffers(benchmark):
+    office = _stats(fig8_environment("office"))
+    outdoor = _stats(fig8_environment("urban-open-space"))
+    mall = _stats(fig8_environment("mall"))
+
+    # Office accuracy beats the urban open space for the ensemble (paper:
+    # all systems do better in the office than outdoors).
+    assert office["uniloc2"][0] < outdoor["uniloc2"][0]
+
+    # Cellular is crippled in the (basement-level) mall: only two towers
+    # are audible, so its error is far above UniLoc2's there.
+    if "cellular" in mall:
+        assert mall["cellular"][0] > 3.0 * mall["uniloc2"][0]
+
+    benchmark(lambda: _stats(fig8_environment("office")))

@@ -1,0 +1,45 @@
+"""Table I — influence factors of typical localization models.
+
+Paper targets: Wi-Fi/cellular share the fingerprint-density and RSSI
+deviation factors; motion keys on distance-from-landmark and corridor
+width; fusion adds Wi-Fi density indoors but equals motion outdoors;
+GPS needs no online factors.
+"""
+
+from conftest import print_table
+from repro.eval.experiments import table1_influence_factors
+
+
+def test_table1_influence_factors(benchmark):
+    table = benchmark(table1_influence_factors)
+    print_table(
+        "Table I: influence factors per scheme",
+        ["scheme", "indoor factors", "outdoor factors"],
+        [
+            [name, ", ".join(ctx["indoor"]) or "(none)", ", ".join(ctx["outdoor"]) or "(none)"]
+            for name, ctx in table.items()
+        ],
+    )
+    assert table["wifi"]["indoor"] == (
+        "fingerprint_density",
+        "rssi_distance_deviation",
+    )
+    # Cellular shares the fingerprinting factors and adds the audible
+    # tower count (Table I); Wi-Fi's AP count was found insignificant.
+    assert table["cellular"]["indoor"] == (
+        "fingerprint_density",
+        "rssi_distance_deviation",
+        "n_sources",
+    )
+    assert table["motion"]["indoor"] == (
+        "distance_since_landmark",
+        "corridor_width",
+    )
+    assert table["fusion"]["indoor"] == (
+        "distance_since_landmark",
+        "corridor_width",
+        "fingerprint_density",
+    )
+    assert table["fusion"]["outdoor"] == table["motion"]["outdoor"]
+    assert table["gps"]["indoor"] == ()
+    assert table["gps"]["outdoor"] == ()

@@ -1,0 +1,38 @@
+"""Table IV — power and energy along the daily path.
+
+Paper targets: motion-based PDR is the most energy-efficient scheme;
+UniLoc adds only ~14% over it despite running five schemes (offloaded
+computation + cheap extra sensors); GPS duty cycling cuts outdoor GPS
+energy by >= ~2x; transmissions add little energy.
+"""
+
+from conftest import fmt, print_table
+from repro.energy import gps_saving_factor
+from repro.eval.experiments import daily_path_result, table4_energy
+
+
+def test_table4_energy(benchmark):
+    reports = benchmark(table4_energy)
+    print_table(
+        "Table IV: power and energy over the daily path",
+        ["system", "power (mW)", "time (s)", "tx (J)", "energy (J)"],
+        [
+            [r.system, fmt(r.power_mw, 0), fmt(r.duration_s, 0), fmt(r.transmission_j, 1), fmt(r.energy_j, 1)]
+            for r in reports
+        ],
+    )
+    by_name = {r.system: r for r in reports}
+
+    offloaded = ["wifi", "cellular", "motion", "fusion"]
+    assert by_name["motion"].energy_j == min(by_name[s].energy_j for s in offloaded)
+
+    overhead = by_name["uniloc"].energy_j / by_name["motion"].energy_j - 1.0
+    print(f"UniLoc energy overhead over PDR: {overhead:.1%} (paper: 14%)")
+    assert 0.05 < overhead < 0.30
+
+    saving = gps_saving_factor(daily_path_result())
+    print(f"GPS duty-cycling saving factor: {saving} (paper: 2.1x)")
+    assert saving >= 2.0
+
+    for r in reports:
+        assert r.transmission_j / r.energy_j < 0.1

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The eight daily paths (paper Fig. 4 / Fig. 7).
+
+Runs UniLoc over all eight campus paths (~2.8 km, roughly a third of it
+outdoors) and reports the pooled error distribution per system — the
+paper's headline accuracy experiment.  Expect a few minutes of runtime:
+this is 8 full walks x 5 schemes x ~500 steps each.
+
+Run:
+    python examples/campus_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import (
+    SCHEME_NAMES,
+    PlaceSetup,
+    build_framework,
+    merge_results,
+    run_walk,
+    train_error_models,
+)
+from repro.world import build_campus_place
+
+
+def main() -> None:
+    models = train_error_models(seed=0)
+    setup = PlaceSetup.create(build_campus_place(), seed=3)
+    print(
+        f"Campus deployed: {len(setup.place.paths)} paths, "
+        f"{sum(p.length() for p in setup.place.paths.values()) / 1000:.2f} km, "
+        f"{len(setup.radio.access_points)} APs"
+    )
+
+    results = []
+    for idx, path_name in enumerate(sorted(setup.place.paths)):
+        walk, snaps = setup.record_walk(
+            path_name, walk_seed=idx, trace_seed=40 + idx
+        )
+        framework = build_framework(
+            setup, models, walk.moments[0].position,
+            scheme_seed=idx + 11, grid_cell_m=4.0,
+        )
+        result = run_walk(framework, setup.place, path_name, walk, snaps)
+        results.append(result)
+        print(
+            f"  {path_name}: {walk.length_m():5.0f} m, "
+            f"uniloc2 {result.mean_error('uniloc2'):5.2f} m, "
+            f"best scheme "
+            f"{min(result.mean_error(s) for s in SCHEME_NAMES if result.errors(s)):5.2f} m"
+        )
+
+    pooled = merge_results(results)
+    print(f"\nPooled over {len(pooled.records)} estimates (Fig. 7):")
+    print(f"  {'system':9s} {'mean':>7s} {'p50':>7s} {'p90':>7s}")
+    for estimator in list(SCHEME_NAMES) + ["uniloc1", "uniloc2"]:
+        errors = pooled.errors(estimator)
+        if errors:
+            print(
+                f"  {estimator:9s} {np.mean(errors):6.2f}m"
+                f" {np.percentile(errors, 50):6.2f}m"
+                f" {np.percentile(errors, 90):6.2f}m"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Integrating a new localization scheme into UniLoc (the "General" claim).
+
+UniLoc treats schemes as black boxes: to add one you implement
+``LocalizationScheme.estimate``, collect one supervised training session
+to fit its error model, and register a bundle.  This example adds the
+EZ-style model-based trilateration scheme (which the paper discusses but
+excludes from its five) as a *sixth* scheme and shows the ensemble
+absorbing it.
+
+Run:
+    python examples/custom_scheme.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ErrorModelTrainer, SchemeBundle
+from repro.core.features import GpsFeatures
+from repro.eval import PlaceSetup, build_framework, run_walk, train_error_models
+from repro.schemes import ModelBasedScheme
+from repro.world import build_daily_path_place, build_office_place
+
+
+def main() -> None:
+    models = train_error_models(seed=0)
+
+    # --- Step 1+2 of §III-A for the NEW scheme only: one supervised walk.
+    print("Fitting the new scheme's error model from one office session...")
+    office = PlaceSetup.create(build_office_place(), seed=21)
+    walk, snaps = office.record_walk("survey", walk_seed=51, trace_seed=52)
+    new_scheme = ModelBasedScheme(office.radio.access_points)
+    extractor = GpsFeatures()  # intercept-only model, like GPS
+    trainer = ErrorModelTrainer()
+    trainer.collect_walk(
+        office.place, {"model_based": new_scheme}, {"model_based": extractor},
+        walk, snaps,
+    )
+    new_models = trainer.fit("model_based", extractor, fit_intercept=True)
+    if new_models.indoor.is_fitted:
+        summary = new_models.indoor.summary
+        print(
+            f"  indoor model: error ~ {summary.coefficients[-1]:.1f} m"
+            f" +/- {summary.residual_std:.1f} m over {summary.n_samples} samples"
+        )
+
+    # --- Run the daily path with five schemes, then with six.
+    setup = PlaceSetup.create(build_daily_path_place(), seed=3)
+    walk, snaps = setup.record_walk("path1", walk_seed=0, trace_seed=1)
+
+    results = {}
+    for label, extra in (("five schemes", False), ("six schemes", True)):
+        framework = build_framework(setup, models, walk.moments[0].position)
+        if extra:
+            framework.add_scheme(
+                "model_based",
+                SchemeBundle(
+                    scheme=ModelBasedScheme(setup.radio.access_points),
+                    error_models=new_models,
+                    extractor=extractor,
+                ),
+            )
+        results[label] = run_walk(framework, setup.place, "path1", walk, snaps)
+
+    print("\nUniLoc2 mean error on the daily path:")
+    for label, result in results.items():
+        used = result.usage("uniloc1")
+        print(
+            f"  {label:13s} {result.mean_error('uniloc2'):5.2f} m"
+            f"   (uniloc1 used model_based at"
+            f" {used.get('model_based', 0.0):.0%} of locations)"
+        )
+    print(
+        "\nIntegration cost: one training walk and ~15 lines of glue —"
+        " no change to UniLoc itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Device heterogeneity and online RSSI offset calibration (Fig. 8d).
+
+The fingerprint database and the error models are built with a Google
+Nexus 5X; the user walks with an LG G3 whose Wi-Fi chipset reports
+offset RSSIs (``RSSI_ref ~ alpha * RSSI_lg + delta``).  Without
+calibration RADAR's matching degrades; with the paper's online-learned
+affine correction most of the accuracy comes back — and UniLoc
+assimilates the gain automatically.
+
+Run:
+    python examples/heterogeneous_devices.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.eval import PlaceSetup, build_framework, run_walk, train_error_models
+from repro.sensors import LG_G3, NEXUS_5X, OffsetCalibrator
+from repro.world import build_office_place
+
+
+def main() -> None:
+    models = train_error_models(seed=0)
+    setup = PlaceSetup.create(build_office_place(), seed=21)
+
+    print("Learning the LG G3 -> Nexus 5X RSSI offset from a 40 m walk...")
+    walk_cal, snaps_lg = setup.record_walk(
+        "survey", device=LG_G3, walk_seed=500, trace_seed=501, max_length=40.0
+    )
+    _, snaps_ref = setup.record_walk(
+        "survey", device=NEXUS_5X, walk_seed=500, trace_seed=501, max_length=40.0
+    )
+    calibrator = OffsetCalibrator()
+    for lg, ref in zip(snaps_lg, snaps_ref):
+        for key in set(lg.wifi_scan) & set(ref.wifi_scan):
+            calibrator.observe(lg.wifi_scan[key], ref.wifi_scan[key])
+    alpha, delta = calibrator.coefficients()
+    print(f"  learned RSSI_ref = {alpha:.3f} * RSSI_lg + {delta:.2f}")
+    print(f"  (device truth: alpha={1/LG_G3.rssi_alpha:.3f} inverse response)")
+
+    print("\nWalking the office with the LG G3...")
+    walk, snaps = setup.record_walk("survey", device=LG_G3, walk_seed=700, trace_seed=701)
+    corrected = [
+        replace(
+            s,
+            wifi_scan=calibrator.correct(s.wifi_scan),
+            cell_scan=calibrator.correct(s.cell_scan),
+        )
+        for s in snaps
+    ]
+
+    for label, trace in (("without calibration", snaps), ("with calibration", corrected)):
+        framework = build_framework(setup, models, walk.moments[0].position)
+        result = run_walk(framework, setup.place, "survey", walk, trace)
+        wifi = result.errors("wifi")
+        uniloc = result.errors("uniloc2")
+        print(
+            f"  {label:21s} RADAR mean {np.mean(wifi):5.2f} m"
+            f" p90 {np.percentile(wifi, 90):5.2f} m |"
+            f" UniLoc2 mean {np.mean(uniloc):5.2f} m"
+        )
+
+    print(
+        "\nUniLoc assimilates the per-scheme heterogeneity handling: once"
+        " RADAR is calibrated, the ensemble's accuracy recovers with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

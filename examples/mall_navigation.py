@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Positioning in a new place: a basement-level shopping mall.
+
+The paper's "Scalable" claim: error models trained in the office and
+the campus open space transfer to places UniLoc has never seen.  This
+example takes the mall world (95 x 27 m2, crowded Wi-Fi, only two
+audible cell towers because the floor is underground) and runs the
+paper's per-place protocol — ten 30 m trajectories with estimates every
+step — comparing every individual scheme against UniLoc.
+
+Run:
+    python examples/mall_navigation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import (
+    SCHEME_NAMES,
+    PlaceSetup,
+    build_framework,
+    merge_results,
+    run_walk,
+    train_error_models,
+)
+from repro.world import build_mall_place
+
+
+def main() -> None:
+    print("Training error models in the office + open space (not the mall)...")
+    models = train_error_models(seed=0)
+
+    print("Deploying the mall (a new, untrained place)...")
+    setup = PlaceSetup.create(build_mall_place(), seed=8)
+    path = setup.place.paths["survey"]
+    print(f"  survey path {path.length():.0f} m, {len(setup.wifi_db)} Wi-Fi fingerprints")
+
+    print("\nWalking ten 30 m trajectories...")
+    results = []
+    usable = path.length() - 31.0
+    for idx in range(10):
+        start_arc = usable * idx / 10.0
+        walk, snaps = setup.record_walk(
+            "survey",
+            walk_seed=100 + idx,
+            trace_seed=200 + idx,
+            start_arc=start_arc,
+            max_length=30.0,
+        )
+        framework = build_framework(
+            setup, models, walk.moments[0].position, scheme_seed=idx
+        )
+        results.append(run_walk(framework, setup.place, "survey", walk, snaps))
+    pooled = merge_results(results)
+
+    print(f"\nPooled over {len(pooled.records)} estimates:")
+    print(f"  {'system':9s} {'mean':>7s} {'p50':>7s} {'p90':>7s}")
+    for estimator in list(SCHEME_NAMES) + ["uniloc1", "uniloc2"]:
+        errors = pooled.errors(estimator)
+        if errors:
+            print(
+                f"  {estimator:9s} {np.mean(errors):6.2f}m "
+                f"{np.percentile(errors, 50):6.2f}m {np.percentile(errors, 90):6.2f}m"
+            )
+        else:
+            print(f"  {estimator:9s}   (never available — e.g. GPS underground)")
+
+    print(
+        "\nNote: GPS never fixes underground and the cellular scheme hears"
+        " only ~2 towers, yet UniLoc still matches the best scheme —"
+        " weights adapt per location without any mall-specific training."
+    )
+
+
+if __name__ == "__main__":
+    main()

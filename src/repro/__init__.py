@@ -1,0 +1,19 @@
+"""UniLoc reproduction: a unified mobile localization framework.
+
+This package reproduces *UniLoc: A Unified Mobile Localization Framework
+Exploiting Scheme Diversity* (Du, Tong, Li - ICDCS 2018): five individual
+localization schemes, online per-scheme error prediction via linear
+regression on sensor-data features, and a locally-weighted Bayesian Model
+Averaging ensemble, together with the simulated smartphone / campus
+substrate the experiments run on.
+
+Quickstart::
+
+    from repro.eval import build_system, run_path_experiment
+
+    system = build_system(seed=1)
+    result = run_path_experiment(system, "path1")
+    print(result.mean_error("uniloc2"))
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+``places``
+    List the built-in worlds and their paths.
+``train [--out models.json]``
+    Run the one-time error-model training (§III) and optionally save
+    the fitted models.
+``run PLACE PATH [--models models.json]``
+    Walk a path with UniLoc and print per-system error statistics, the
+    scheme-usage bars, and a CDF plot.
+``survey PLACE --out prints.json``
+    Deploy a place and dump its Wi-Fi fingerprint survey.
+``record PLACE PATH --out trace.json``
+    Record a raw sensor trace for offline experimentation.
+``tables``
+    Regenerate the paper's energy and response-time tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _builders():
+    from repro.world import (
+        build_campus_place,
+        build_daily_path_place,
+        build_mall_place,
+        build_office_place,
+        build_open_space_place,
+        build_second_office_place,
+        build_urban_open_space_place,
+    )
+
+    return {
+        "daily": build_daily_path_place,
+        "campus": build_campus_place,
+        "office": build_office_place,
+        "office-2": build_second_office_place,
+        "open-space": build_open_space_place,
+        "urban-open-space": build_urban_open_space_place,
+        "mall": build_mall_place,
+    }
+
+
+def cmd_places(_: argparse.Namespace) -> int:
+    """List built-in places and their paths."""
+    for name, build in _builders().items():
+        place = build()
+        paths = ", ".join(
+            f"{p.name} ({p.length():.0f} m)" for p in place.paths.values()
+        )
+        print(f"{name:18s} {paths}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train the error models and optionally persist them."""
+    from repro.eval import train_error_models
+
+    models = train_error_models(seed=args.seed)
+    for name, model_set in models.items():
+        for label, model in (("indoor", model_set.indoor), ("outdoor", model_set.outdoor)):
+            if model.is_fitted:
+                s = model.summary
+                betas = ", ".join(f"{b:+.3f}" for b in s.coefficients)
+                print(
+                    f"{name:9s} {label:8s} beta=[{betas}] "
+                    f"sigma_e={s.residual_std:.2f} R2={s.r_squared:.2f} n={s.n_samples}"
+                )
+    if args.out:
+        from repro.persistence import save_error_models
+
+        save_error_models(models, args.out)
+        print(f"\nsaved to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run UniLoc over one path and print the evaluation."""
+    from repro.eval import (
+        SCHEME_NAMES,
+        PlaceSetup,
+        build_framework,
+        run_walk,
+        train_error_models,
+    )
+    from repro.eval.plots import render_bars, render_cdf
+
+    builders = _builders()
+    if args.place not in builders:
+        print(f"unknown place {args.place!r}; see `repro places`", file=sys.stderr)
+        return 2
+    if args.models:
+        from repro.persistence import load_error_models
+
+        models = load_error_models(args.models)
+    else:
+        models = train_error_models(seed=args.seed)
+    setup = PlaceSetup.create(builders[args.place](), seed=args.seed + 3)
+    if args.path not in setup.place.paths:
+        print(
+            f"unknown path {args.path!r}; this place has: "
+            + ", ".join(setup.place.paths),
+            file=sys.stderr,
+        )
+        return 2
+    walk, snaps = setup.record_walk(
+        args.path, walk_seed=args.seed, trace_seed=args.seed + 1
+    )
+    framework = build_framework(setup, models, walk.moments[0].position)
+    result = run_walk(framework, setup.place, args.path, walk, snaps)
+
+    print(f"\n{args.place}/{args.path}: {len(result.records)} estimates\n")
+    errors_by_system = {}
+    for estimator in list(SCHEME_NAMES) + ["optsel", "uniloc1", "uniloc2"]:
+        errors = result.errors(estimator)
+        if errors:
+            errors_by_system[estimator] = errors
+            print(
+                f"  {estimator:9s} mean {np.mean(errors):6.2f} m   "
+                f"p50 {np.percentile(errors, 50):6.2f} m   "
+                f"p90 {np.percentile(errors, 90):6.2f} m"
+            )
+    print("\nUniLoc1 scheme usage:")
+    print(render_bars(result.usage("uniloc1")))
+    print("\n" + render_cdf(errors_by_system))
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    """Dump a place's Wi-Fi fingerprint survey to JSON."""
+    from repro.eval import PlaceSetup
+    from repro.persistence import save_fingerprints
+
+    builders = _builders()
+    if args.place not in builders:
+        print(f"unknown place {args.place!r}", file=sys.stderr)
+        return 2
+    setup = PlaceSetup.create(builders[args.place](), seed=args.seed + 3)
+    save_fingerprints(setup.wifi_db, args.out)
+    print(f"saved {len(setup.wifi_db)} fingerprints to {args.out}")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Record one walk's raw sensor trace to JSON."""
+    from repro.eval import PlaceSetup
+    from repro.persistence import save_trace
+
+    builders = _builders()
+    if args.place not in builders:
+        print(f"unknown place {args.place!r}", file=sys.stderr)
+        return 2
+    setup = PlaceSetup.create(builders[args.place](), seed=args.seed + 3)
+    if args.path not in setup.place.paths:
+        print(f"unknown path {args.path!r}", file=sys.stderr)
+        return 2
+    _, snaps = setup.record_walk(
+        args.path, walk_seed=args.seed, trace_seed=args.seed + 1
+    )
+    save_trace(snaps, args.out)
+    print(f"saved {len(snaps)} snapshots to {args.out}")
+    return 0
+
+
+def cmd_tables(_: argparse.Namespace) -> int:
+    """Print the modeled Table IV / Table V constants."""
+    from repro.energy import response_time, scheme_energy
+
+    print("Energy per system (230 s walk, 460 estimates):")
+    for name in ("gps", "wifi", "cellular", "motion", "fusion", "uniloc"):
+        report = scheme_energy(name, 230.0, 460, gps_duty=0.0)
+        print(f"  {name:9s} {report.power_mw:6.0f} mW  {report.energy_j:7.1f} J")
+    bt = response_time()
+    print(
+        f"\nResponse time: {bt.total_ms:.1f} ms total, "
+        f"{bt.transmission_fraction:.0%} transmissions, "
+        f"UniLoc adds {bt.uniloc_added_ms:.1f} ms"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UniLoc reproduction command line"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("places", help="list built-in worlds").set_defaults(func=cmd_places)
+
+    p_train = sub.add_parser("train", help="train the error models")
+    p_train.add_argument("--out", help="save fitted models to this JSON file")
+    p_train.set_defaults(func=cmd_train)
+
+    p_run = sub.add_parser("run", help="run UniLoc over a path")
+    p_run.add_argument("place")
+    p_run.add_argument("path")
+    p_run.add_argument("--models", help="load fitted models instead of training")
+    p_run.set_defaults(func=cmd_run)
+
+    p_survey = sub.add_parser("survey", help="dump a Wi-Fi fingerprint survey")
+    p_survey.add_argument("place")
+    p_survey.add_argument("--out", required=True)
+    p_survey.set_defaults(func=cmd_survey)
+
+    p_record = sub.add_parser("record", help="record a raw sensor trace")
+    p_record.add_argument("place")
+    p_record.add_argument("path")
+    p_record.add_argument("--out", required=True)
+    p_record.set_defaults(func=cmd_record)
+
+    sub.add_parser("tables", help="print energy/latency tables").set_defaults(
+        func=cmd_tables
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

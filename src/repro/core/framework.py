@@ -1,0 +1,295 @@
+"""The UniLoc framework: error prediction + ensemble (paper §IV).
+
+At every location estimation step the framework
+
+1. runs every registered scheme in parallel (black boxes),
+2. classifies indoor/outdoor with IODetector and picks the matching
+   error-model coefficients,
+3. predicts each available scheme's error from real-time features
+   (Eq. 6) and converts it into a confidence (Eq. 2) against the adaptive
+   threshold tau (the mean predicted error of the available schemes),
+4. produces the **UniLoc1** estimate — the output of the single scheme
+   with the highest confidence (§IV-A), and
+5. produces the **UniLoc2** estimate — the locally-weighted BMA mixture
+   of all schemes' grid posteriors with weights ``w_n = c_n / sum c``
+   (Eqs. 3-5), read out as the posterior-mean location (Eq. 4).
+
+Unavailable schemes (no GPS fix, empty scan) get confidence zero and are
+temporarily excluded.  GPS is additionally duty-cycled for energy: since
+its outdoor error model is intercept-only, its error is predicted without
+powering the chip, and the chip is only "turned on" when GPS is expected
+to be the most accurate scheme (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.confidence import adaptive_threshold, confidence, normalized_weights
+from repro.core.error_model import ErrorModelSet
+from repro.core.features import FeatureContext, FeatureExtractor
+from repro.core.hmm import SecondOrderHmm
+from repro.core.iodetector import IODetector
+from repro.geometry import Grid, Point
+from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.sensors import SensorSnapshot
+from repro.world import Place
+
+
+@dataclass
+class SchemeBundle:
+    """A scheme plus the error-model machinery UniLoc wraps around it."""
+
+    scheme: LocalizationScheme
+    error_models: ErrorModelSet
+    extractor: FeatureExtractor
+
+
+@dataclass
+class StepDecision:
+    """Everything UniLoc decided at one location-estimation step."""
+
+    outputs: dict[str, SchemeOutput | None]
+    predicted_errors: dict[str, float]
+    confidences: dict[str, float]
+    weights: dict[str, float]
+    tau: float
+    indoor: bool
+    selected: str | None
+    uniloc1_position: Point | None
+    uniloc2_position: Point | None
+    gps_enabled: bool
+
+    def available_schemes(self) -> list[str]:
+        """Return the schemes that produced an output this step."""
+        return [name for name, out in self.outputs.items() if out is not None]
+
+
+@dataclass
+class UniLocFramework:
+    """The unified localization framework over N registered schemes.
+
+    Attributes:
+        place: the place being localized in (grid + map features).
+        bundles: scheme name -> bundle; any scheme can be added, which is
+            the framework's "General" design goal.
+        grid_cell_m: BMA grid resolution.
+        gps_scheme: name of the GPS bundle for duty-cycling (None
+            disables the energy policy).
+        gps_duty_cycling: only power GPS when it is predicted to be the
+            most accurate scheme.
+    """
+
+    place: Place
+    bundles: dict[str, SchemeBundle]
+    grid_cell_m: float = 2.0
+    gps_scheme: str | None = "gps"
+    gps_duty_cycling: bool = True
+    iodetector: IODetector = field(default_factory=IODetector)
+    location_predictor: object | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bundles:
+            raise ValueError("UniLoc needs at least one scheme")
+        self._grid: Grid = self.place.grid(self.grid_cell_m)
+        # Any object with observe/predict/reset works (second-order HMM by
+        # default; a Kalman predictor is the paper-sanctioned alternative).
+        self._hmm = (
+            self.location_predictor
+            if self.location_predictor is not None
+            else SecondOrderHmm(self._grid)
+        )
+
+    @property
+    def grid(self) -> Grid:
+        """Return the BMA discretization grid."""
+        return self._grid
+
+    def reset(self) -> None:
+        """Reset all schemes and the trajectory predictor for a new walk."""
+        self._hmm.reset()
+        for bundle in self.bundles.values():
+            bundle.scheme.reset()
+
+    def add_scheme(self, name: str, bundle: SchemeBundle) -> None:
+        """Integrate a new localization scheme at runtime.
+
+        Raises:
+            ValueError: if the name is already registered.
+        """
+        if name in self.bundles:
+            raise ValueError(f"scheme {name!r} already registered")
+        self.bundles[name] = bundle
+
+    # ------------------------------------------------------------------
+
+    def step(self, snapshot: SensorSnapshot) -> StepDecision:
+        """Run one full UniLoc location estimation."""
+        indoor = self.iodetector.is_indoor(snapshot)
+        outputs = self._run_schemes(snapshot, indoor)
+        predicted_location = self._predicted_location(outputs)
+        predicted_errors = self._predict_errors(
+            snapshot, outputs, predicted_location, indoor
+        )
+
+        available = {
+            name: err
+            for name, err in predicted_errors.items()
+            if outputs.get(name) is not None
+        }
+        if not available:
+            return StepDecision(
+                outputs=outputs,
+                predicted_errors=predicted_errors,
+                confidences={},
+                weights={},
+                tau=float("nan"),
+                indoor=indoor,
+                selected=None,
+                uniloc1_position=None,
+                uniloc2_position=None,
+                gps_enabled=self._gps_ran(outputs),
+            )
+
+        tau = adaptive_threshold(list(available.values()))
+        confidences = {
+            name: confidence(
+                err,
+                self.bundles[name].error_models.for_context(indoor).residual_std,
+                tau,
+            )
+            for name, err in available.items()
+        }
+        weights = normalized_weights(confidences)
+
+        selected = max(confidences, key=confidences.get)
+        uniloc1_position = outputs[selected].position
+        uniloc2_position = self._bma_estimate(outputs, weights)
+        self._hmm.observe(uniloc2_position)
+        return StepDecision(
+            outputs=outputs,
+            predicted_errors=predicted_errors,
+            confidences=confidences,
+            weights=weights,
+            tau=tau,
+            indoor=indoor,
+            selected=selected,
+            uniloc1_position=uniloc1_position,
+            uniloc2_position=uniloc2_position,
+            gps_enabled=self._gps_ran(outputs),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_schemes(
+        self, snapshot: SensorSnapshot, indoor: bool
+    ) -> dict[str, SchemeOutput | None]:
+        """Run all schemes, honoring the GPS energy policy."""
+        outputs: dict[str, SchemeOutput | None] = {}
+        for name, bundle in self.bundles.items():
+            if name == self.gps_scheme and self.gps_duty_cycling:
+                continue  # decided after the other schemes' errors are known
+            outputs[name] = bundle.scheme.estimate(snapshot)
+        if self.gps_scheme in self.bundles and self.gps_duty_cycling:
+            outputs[self.gps_scheme] = self._gps_policy_output(
+                snapshot, outputs, indoor
+            )
+        return outputs
+
+    def _gps_policy_output(
+        self,
+        snapshot: SensorSnapshot,
+        outputs: dict[str, SchemeOutput | None],
+        indoor: bool,
+    ) -> SchemeOutput | None:
+        """Apply §IV-C: power GPS only when predicted to be the best.
+
+        Indoors GPS stays off.  Outdoors its (feature-free) predicted
+        error is compared against the other schemes' predictions; only
+        when GPS wins is the chip enabled and its output consumed.
+        """
+        if indoor:
+            return None
+        bundle = self.bundles[self.gps_scheme]
+        gps_error = bundle.error_models.for_context(indoor).predict({})
+        predicted_location = self._predicted_location(outputs)
+        others = self._predict_errors(snapshot, outputs, predicted_location, indoor)
+        competitors = [
+            err
+            for name, err in others.items()
+            if name != self.gps_scheme and outputs.get(name) is not None
+        ]
+        if competitors and gps_error >= min(competitors):
+            return None
+        return bundle.scheme.estimate(snapshot)
+
+    def _gps_ran(self, outputs: dict[str, SchemeOutput | None]) -> bool:
+        """Return True if the GPS chip was powered this step."""
+        if self.gps_scheme is None or self.gps_scheme not in outputs:
+            return False
+        return outputs[self.gps_scheme] is not None
+
+    def _predicted_location(
+        self, outputs: dict[str, SchemeOutput | None]
+    ) -> Point:
+        """Return the HMM-predicted location (never the ground truth).
+
+        Before the HMM has history (walk start), falls back to the mean
+        of the available schemes' own estimates, then to the place center.
+        """
+        predicted = self._hmm.predict()
+        if predicted is not None:
+            return predicted
+        positions = [out.position for out in outputs.values() if out is not None]
+        if positions:
+            mean_x = sum(p.x for p in positions) / len(positions)
+            mean_y = sum(p.y for p in positions) / len(positions)
+            return Point(mean_x, mean_y)
+        min_x, min_y, max_x, max_y = self.place.boundary.bounding_box()
+        return Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0)
+
+    def _predict_errors(
+        self,
+        snapshot: SensorSnapshot,
+        outputs: dict[str, SchemeOutput | None],
+        predicted_location: Point,
+        indoor: bool,
+    ) -> dict[str, float]:
+        """Predict every registered scheme's error from its features."""
+        predictions: dict[str, float] = {}
+        for name, bundle in self.bundles.items():
+            model = bundle.error_models.for_context(indoor)
+            if not model.is_fitted:
+                continue
+            ctx = FeatureContext(
+                snapshot=snapshot,
+                output=outputs.get(name),
+                predicted_location=predicted_location,
+                indoor=indoor,
+            )
+            features = bundle.extractor.extract(ctx)
+            try:
+                predictions[name] = model.predict(features)
+            except KeyError:
+                continue  # extractor cannot produce this model's features
+        return predictions
+
+    def _bma_estimate(
+        self,
+        outputs: dict[str, SchemeOutput | None],
+        weights: dict[str, float],
+    ) -> Point:
+        """Mix scheme posteriors by weight and read out Eq. 4."""
+        mixture = np.zeros(self._grid.n_cells)
+        for name, weight in weights.items():
+            output = outputs.get(name)
+            if output is None or weight <= 0.0:
+                continue
+            mixture += weight * output.grid_posterior(self._grid)
+        if mixture.sum() <= 0.0:
+            # All weights zero: fall back to the best available output.
+            available = [o for o in outputs.values() if o is not None]
+            return available[0].position
+        return self._grid.expected_point(mixture)

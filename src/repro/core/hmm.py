@@ -1,0 +1,86 @@
+"""Second-order HMM location prediction (paper §III-B).
+
+Some influence factors (fingerprint density around the user, corridor
+width) need the user's location *before* UniLoc has produced this step's
+estimate.  The paper uses "existing location prediction methods, like a
+second-order HMM" on the recent trajectory.  We implement that: hidden
+states are grid cells, the second-order transition model is a Gaussian
+kernel around the constant-velocity extrapolation of the last two
+estimated cells, and each fused UniLoc output is treated as a (sharp)
+observation that re-anchors the belief.
+
+With a sharp observation model the posterior collapses to the observed
+cell each step, so prediction reduces to scoring the transition kernel —
+that is exactly the "acceptable estimation accuracy" trade-off the paper
+makes by choosing a lightweight predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Grid, Point
+
+
+@dataclass
+class SecondOrderHmm:
+    """Predicts the user's next location from the last two estimates.
+
+    Attributes:
+        grid: discretization of the place.
+        step_sigma_m: transition kernel width around the extrapolated
+            point — roughly how far a pedestrian can deviate from constant
+            velocity in one step.
+    """
+
+    grid: Grid
+    step_sigma_m: float = 2.0
+
+    def __post_init__(self) -> None:
+        self._prev: Point | None = None
+        self._prev2: Point | None = None
+
+    def reset(self) -> None:
+        """Forget the trajectory (start of a new walk)."""
+        self._prev = None
+        self._prev2 = None
+
+    @property
+    def has_history(self) -> bool:
+        """Return True once at least one observation has been made."""
+        return self._prev is not None
+
+    def observe(self, location: Point) -> None:
+        """Anchor the belief at this step's fused location estimate."""
+        self._prev2 = self._prev
+        self._prev = location
+
+    def predict(self) -> Point | None:
+        """Return the predicted current location, or None without history.
+
+        With two past estimates the prediction is the mode of the
+        second-order transition kernel (the constant-velocity point,
+        snapped to the grid); with only one it is that estimate itself.
+        """
+        if self._prev is None:
+            return None
+        if self._prev2 is None:
+            return self._prev
+        extrapolated = Point(
+            2.0 * self._prev.x - self._prev2.x,
+            2.0 * self._prev.y - self._prev2.y,
+        )
+        return self.grid.center_of(self.grid.index_of(extrapolated))
+
+    def predictive_posterior(self) -> np.ndarray | None:
+        """Return the full transition-kernel posterior over grid cells.
+
+        Exposed for analysis and tests; the framework only needs
+        :meth:`predict`.
+        """
+        mode = self.predict()
+        if mode is None:
+            return None
+        return self.grid.gaussian_posterior(mode, self.step_sigma_m)

@@ -1,0 +1,115 @@
+"""A constant-velocity Kalman filter for location prediction.
+
+The paper's online feature extraction needs the user's location *before*
+this step's estimate exists, "based on the existing location prediction
+methods, like Hidden Markov Model (HMM) or Kalman filter" (§III-B).
+:mod:`repro.core.hmm` implements the second-order HMM the authors chose;
+this module implements the Kalman alternative so the design choice can
+be ablated.
+
+State is ``[x, y, vx, vy]`` with a constant-velocity process model; each
+fused UniLoc estimate is fed back as a position observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Point
+
+
+@dataclass
+class KalmanLocationPredictor:
+    """Constant-velocity Kalman filter over fused location estimates.
+
+    Attributes:
+        dt: nominal time between estimates (the paper's 0.5 s cadence).
+        process_noise: acceleration-noise intensity (m/s^2) — how quickly
+            a pedestrian may deviate from constant velocity.
+        observation_noise_m: assumed std-dev of the fused estimates fed
+            back as observations.
+    """
+
+    dt: float = 0.5
+    process_noise: float = 1.0
+    observation_noise_m: float = 2.0
+    _state: np.ndarray | None = field(default=None, init=False, repr=False)
+    _cov: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+        dt = self.dt
+        self._f = np.array(
+            [
+                [1.0, 0.0, dt, 0.0],
+                [0.0, 1.0, 0.0, dt],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        q = self.process_noise**2
+        # Discretized white-acceleration process noise.
+        self._q = q * np.array(
+            [
+                [dt**4 / 4, 0.0, dt**3 / 2, 0.0],
+                [0.0, dt**4 / 4, 0.0, dt**3 / 2],
+                [dt**3 / 2, 0.0, dt**2, 0.0],
+                [0.0, dt**3 / 2, 0.0, dt**2],
+            ]
+        )
+        self._h = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
+        self._r = np.eye(2) * self.observation_noise_m**2
+
+    @property
+    def has_history(self) -> bool:
+        """Return True once at least one observation has been made."""
+        return self._state is not None
+
+    def reset(self) -> None:
+        """Forget the track (start of a new walk)."""
+        self._state = None
+        self._cov = None
+
+    def observe(self, location: Point) -> None:
+        """Feed one fused location estimate (predict + update)."""
+        z = np.array([location.x, location.y])
+        if self._state is None:
+            self._state = np.array([location.x, location.y, 0.0, 0.0])
+            self._cov = np.diag([4.0, 4.0, 4.0, 4.0])
+            return
+        # Predict to the observation time.
+        state = self._f @ self._state
+        cov = self._f @ self._cov @ self._f.T + self._q
+        # Update.
+        innovation = z - self._h @ state
+        s = self._h @ cov @ self._h.T + self._r
+        gain = cov @ self._h.T @ np.linalg.inv(s)
+        self._state = state + gain @ innovation
+        self._cov = (np.eye(4) - gain @ self._h) @ cov
+
+    def predict(self) -> Point | None:
+        """Return the predicted *current* location, or None untracked.
+
+        This is the one-step-ahead prediction from the last updated
+        state — what the feature extractors should use before this
+        step's fused estimate exists.
+        """
+        if self._state is None:
+            return None
+        predicted = self._f @ self._state
+        return Point(float(predicted[0]), float(predicted[1]))
+
+    def velocity(self) -> tuple[float, float] | None:
+        """Return the tracked velocity (m/s), or None untracked."""
+        if self._state is None:
+            return None
+        return (float(self._state[2]), float(self._state[3]))
+
+    def position_uncertainty(self) -> float | None:
+        """Return the RMS positional uncertainty of the track."""
+        if self._cov is None:
+            return None
+        return float(np.sqrt(self._cov[0, 0] + self._cov[1, 1]))

@@ -1,0 +1,41 @@
+"""OptSel: the oracle single-selection baseline (paper Figs. 3, 5).
+
+OptSel is assumed to know each scheme's *true* localization error at
+every location and always picks the best scheme.  It upper-bounds what
+any single-selection strategy (like UniLoc1) can achieve, and the paper's
+headline question — "can we go beyond the optimal selection?" — is
+answered by UniLoc2 beating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.schemes.base import SchemeOutput
+
+
+@dataclass(frozen=True)
+class OracleSelection:
+    """The oracle's choice at one location."""
+
+    scheme: str
+    position: Point
+    error: float
+
+
+def select_best(
+    outputs: dict[str, SchemeOutput | None], true_position: Point
+) -> OracleSelection | None:
+    """Return the scheme whose estimate is closest to the truth.
+
+    Returns None when no scheme produced an output.
+    """
+    best: OracleSelection | None = None
+    for name, output in outputs.items():
+        if output is None:
+            continue
+        error = output.position.distance_to(true_position)
+        if best is None or error < best.error:
+            best = OracleSelection(scheme=name, position=output.position, error=error)
+    return best

@@ -1,0 +1,143 @@
+"""The 2-step error-modeling workflow (paper §III-A).
+
+**Step 1 — data collection.**  Schemes run as black boxes along training
+walks where the ground truth is known.  At every location we record each
+scheme's influence-factor values and its measured localization error,
+labeled indoor/outdoor (the paper trains the two contexts separately to
+minimize modeling uncertainty).  During training — and only during
+training — feature extraction may use the true location (§III-B).
+
+**Step 2 — regression modeling.**  Per scheme and per context, an OLS
+model is fitted over that scheme's influence factors.  The intercept is
+fixed at zero for every scheme except GPS, whose outdoor model is
+intercept-only.
+
+The whole procedure runs once when a scheme is integrated; the learned
+models transfer to new places without retraining (the paper's "Scalable"
+property), which the Table III bench quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.error_model import ErrorModelSet, LinearErrorModel
+from repro.core.features import FeatureContext, FeatureExtractor
+from repro.motion import Walk
+from repro.schemes.base import LocalizationScheme
+from repro.sensors import SensorSnapshot
+from repro.world import Place
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One (features, measured error) pair from a training walk."""
+
+    features: dict[str, float]
+    error: float
+    indoor: bool
+
+
+@dataclass
+class ErrorModelTrainer:
+    """Accumulates training samples and fits per-scheme error models."""
+
+    samples: dict[str, list[TrainingSample]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def sample_count(self, scheme_name: str) -> int:
+        """Return how many samples have been collected for a scheme."""
+        return len(self.samples[scheme_name])
+
+    def collect_walk(
+        self,
+        place: Place,
+        schemes: dict[str, LocalizationScheme],
+        extractors: dict[str, FeatureExtractor],
+        walk: Walk,
+        snapshots: list[SensorSnapshot],
+    ) -> None:
+        """Step 1: run the schemes over one supervised walk.
+
+        Args:
+            place: the training place (provides true indoor labels).
+            schemes: scheme name -> black-box scheme instance.
+            extractors: scheme name -> its feature extractor.
+            walk: ground-truth walk.
+            snapshots: the phone's sensor trace for the walk.
+
+        Raises:
+            ValueError: if the walk and trace lengths differ.
+        """
+        if len(walk.moments) != len(snapshots):
+            raise ValueError("walk and snapshot trace must be the same length")
+        for scheme in schemes.values():
+            scheme.reset()
+        for moment, snapshot in zip(walk.moments, snapshots):
+            indoor = place.is_indoor_at(moment.position)
+            for name, scheme in schemes.items():
+                output = scheme.estimate(snapshot)
+                if output is None:
+                    continue
+                ctx = FeatureContext(
+                    snapshot=snapshot,
+                    output=output,
+                    predicted_location=moment.position,  # truth: training only
+                    indoor=indoor,
+                )
+                features = extractors[name].extract(ctx)
+                error = output.position.distance_to(moment.position)
+                self.samples[name].append(
+                    TrainingSample(features=features, error=error, indoor=indoor)
+                )
+
+    def fit(
+        self,
+        scheme_name: str,
+        extractor: FeatureExtractor,
+        fit_intercept: bool = False,
+        min_samples: int = 20,
+    ) -> ErrorModelSet:
+        """Step 2: fit the indoor and outdoor models for one scheme.
+
+        A context with fewer than ``min_samples`` samples is left
+        unfitted (the framework skips unfitted models — e.g. there is no
+        indoor GPS model because GPS never produces indoor samples).
+
+        Returns:
+            The scheme's :class:`ErrorModelSet`.
+        """
+        models = {}
+        for indoor in (True, False):
+            names = extractor.feature_names(indoor)
+            model = LinearErrorModel(names, fit_intercept=fit_intercept)
+            rows = [s for s in self.samples[scheme_name] if s.indoor == indoor]
+            if len(rows) >= max(min_samples, len(names) + 2):
+                x = np.array(
+                    [[s.features.get(n, 0.0) for n in names] for s in rows]
+                )
+                y = np.array([s.error for s in rows])
+                model.fit(x, y)
+            models[indoor] = model
+        return ErrorModelSet(indoor=models[True], outdoor=models[False])
+
+    def fit_all(
+        self,
+        extractors: dict[str, FeatureExtractor],
+        intercept_schemes: frozenset[str] = frozenset({"gps"}),
+        min_samples: int = 20,
+    ) -> dict[str, ErrorModelSet]:
+        """Fit every collected scheme; GPS-like schemes get an intercept."""
+        return {
+            name: self.fit(
+                name,
+                extractor,
+                fit_intercept=name in intercept_schemes,
+                min_samples=min_samples,
+            )
+            for name, extractor in extractors.items()
+        }

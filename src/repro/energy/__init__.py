@@ -1,0 +1,41 @@
+"""Energy and response-time models (paper §IV-C, §V-C, §V-D)."""
+
+from repro.energy.power import (
+    BASE_PLATFORM_MW,
+    CELL_READ_MW,
+    GPS_MW,
+    IMU_MW,
+    WIFI_SCAN_MW,
+    EnergyReport,
+    energy_table,
+    gps_saving_factor,
+    scheme_energy,
+)
+from repro.energy.response_time import (
+    BMA_MS,
+    DOWNLOAD_MS,
+    ERROR_PREDICTION_MS,
+    SCHEME_COMPUTE_MS,
+    UPLOAD_MS,
+    ResponseTimeBreakdown,
+    response_time,
+)
+
+__all__ = [
+    "BASE_PLATFORM_MW",
+    "BMA_MS",
+    "CELL_READ_MW",
+    "DOWNLOAD_MS",
+    "ERROR_PREDICTION_MS",
+    "EnergyReport",
+    "GPS_MW",
+    "IMU_MW",
+    "SCHEME_COMPUTE_MS",
+    "UPLOAD_MS",
+    "WIFI_SCAN_MW",
+    "ResponseTimeBreakdown",
+    "energy_table",
+    "gps_saving_factor",
+    "response_time",
+    "scheme_energy",
+]

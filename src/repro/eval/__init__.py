@@ -1,0 +1,42 @@
+"""Evaluation harness: setup, runner, metrics."""
+
+from repro.eval.metrics import error_cdf, mean_error, normalized_rmse, percentile
+from repro.eval.runner import (
+    OPTSEL,
+    UNILOC1,
+    UNILOC2,
+    StepRecord,
+    WalkResult,
+    merge_results,
+    run_walk,
+)
+from repro.eval.setup import (
+    INDOOR_FINGERPRINT_SPACING_M,
+    OUTDOOR_FINGERPRINT_SPACING_M,
+    SCHEME_NAMES,
+    PlaceSetup,
+    build_framework,
+    survey_points,
+    train_error_models,
+)
+
+__all__ = [
+    "INDOOR_FINGERPRINT_SPACING_M",
+    "OPTSEL",
+    "OUTDOOR_FINGERPRINT_SPACING_M",
+    "SCHEME_NAMES",
+    "PlaceSetup",
+    "StepRecord",
+    "UNILOC1",
+    "UNILOC2",
+    "WalkResult",
+    "build_framework",
+    "error_cdf",
+    "mean_error",
+    "merge_results",
+    "normalized_rmse",
+    "percentile",
+    "run_walk",
+    "survey_points",
+    "train_error_models",
+]

@@ -1,0 +1,448 @@
+"""One function per paper table / figure (the per-experiment index).
+
+Every benchmark in ``benchmarks/`` and several examples drive these
+functions; they share cached error models and place setups so a full
+bench run trains once and reuses everything.
+
+===========  =====================================================
+fig2         :func:`fig2_motivation` — scheme errors along Path 1
+table1       :func:`table1_influence_factors`
+table2       :func:`table2_error_models`
+table3       :func:`table3_prediction_rmse`
+fig3/5/6     :func:`daily_path_result` (one UniLoc run serves all)
+fig7         :func:`fig7_eight_paths`
+fig8a-c      :func:`fig8_environment` ("mall", "open-space", "office")
+fig8d        :func:`fig8d_heterogeneity`
+table4       :func:`table4_energy`
+table5       :func:`table5_response_time`
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ErrorModelSet, RegressionSummary
+from repro.core.features import FeatureContext
+from repro.energy import (
+    EnergyReport,
+    ResponseTimeBreakdown,
+    energy_table,
+    response_time,
+)
+from repro.eval.metrics import normalized_rmse
+from repro.eval.runner import WalkResult, merge_results, run_walk
+from repro.eval.setup import (
+    SCHEME_NAMES,
+    PlaceSetup,
+    build_framework,
+    train_error_models,
+)
+from repro.motion import DEFAULT_GAIT
+from repro.sensors import LG_G3, NEXUS_5X, DeviceProfile, OffsetCalibrator
+from repro.sensors.snapshot import SensorSnapshot
+from repro.world import (
+    EnvironmentType,
+    build_campus_place,
+    build_daily_path_place,
+    build_mall_place,
+    build_office_place,
+    build_open_space_place,
+    build_second_office_place,
+    build_urban_open_space_place,
+)
+
+#: Master seed for the shared experiment fixtures.
+DEFAULT_SEED = 0
+
+
+@functools.lru_cache(maxsize=4)
+def shared_models(seed: int = DEFAULT_SEED) -> dict[str, ErrorModelSet]:
+    """Return the error models trained once per the paper's protocol."""
+    return train_error_models(seed=seed)
+
+
+@functools.lru_cache(maxsize=16)
+def place_setup(place_name: str, seed: int = DEFAULT_SEED) -> PlaceSetup:
+    """Return a cached deployed+surveyed setup for a named built-in place."""
+    builders = {
+        "daily": build_daily_path_place,
+        "campus": build_campus_place,
+        "office": build_office_place,
+        "office-2": build_second_office_place,
+        "open-space": build_open_space_place,
+        "urban-open-space": build_urban_open_space_place,
+        "mall": build_mall_place,
+    }
+    if place_name not in builders:
+        raise ValueError(f"unknown place {place_name!r}")
+    return PlaceSetup.create(builders[place_name](), seed=seed + 3)
+
+
+def _run(
+    setup: PlaceSetup,
+    models: dict[str, ErrorModelSet],
+    path_name: str,
+    walk_seed: int,
+    trace_seed: int,
+    device: DeviceProfile = NEXUS_5X,
+    start_arc: float = 0.0,
+    max_length: float | None = None,
+    grid_cell_m: float = 2.0,
+    snapshots_override: list[SensorSnapshot] | None = None,
+    start_noise_m: float = 0.0,
+) -> WalkResult:
+    """Record one walk and drive it through a fresh UniLoc framework.
+
+    ``start_noise_m`` perturbs the start position given to the PDR /
+    fusion schemes: a walk beginning mid-place has no surveyed anchor, so
+    dead reckoning starts from an approximate (e.g. Zee-style Wi-Fi
+    bootstrap) position rather than the exact truth.
+    """
+    walk, snaps = setup.record_walk(
+        path_name,
+        device=device,
+        walk_seed=walk_seed,
+        trace_seed=trace_seed,
+        start_arc=start_arc,
+        max_length=max_length,
+    )
+    if snapshots_override is not None:
+        snaps = snapshots_override
+    start = walk.moments[0].position
+    if start_noise_m > 0.0:
+        rng = np.random.default_rng(walk_seed + 777)
+        from repro.geometry import Point
+
+        start = Point(
+            start.x + float(rng.normal(0.0, start_noise_m)),
+            start.y + float(rng.normal(0.0, start_noise_m)),
+        )
+    framework = build_framework(
+        setup,
+        models,
+        start,
+        scheme_seed=walk_seed + 11,
+        grid_cell_m=grid_cell_m,
+    )
+    return run_walk(framework, setup.place, path_name, walk, snaps)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — motivation: individual scheme errors along the daily path.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One location of the Fig. 2 error-vs-distance series."""
+
+    arc_length: float
+    environment: EnvironmentType
+    errors: dict[str, float]
+
+
+def fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
+    """Run the five schemes independently along Path 1 (paper Fig. 2).
+
+    Like the paper's motivation experiment this bypasses UniLoc entirely:
+    each scheme reports independently at every location (GPS with no duty
+    cycling).
+    """
+    setup = place_setup("daily", seed)
+    walk, snaps = setup.record_walk("path1", walk_seed=seed, trace_seed=seed + 1)
+    schemes = setup.make_schemes(walk.moments[0].position, scheme_seed=seed + 2)
+    rows = []
+    for moment, snapshot in zip(walk.moments, snaps):
+        errors = {}
+        for name, scheme in schemes.items():
+            output = scheme.estimate(snapshot)
+            if output is not None:
+                errors[name] = output.position.distance_to(moment.position)
+        rows.append(
+            Fig2Row(
+                arc_length=moment.arc_length,
+                environment=setup.place.environment_at(moment.position),
+                errors=errors,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table I — influence factors per scheme.
+# ---------------------------------------------------------------------------
+
+
+def table1_influence_factors(seed: int = DEFAULT_SEED) -> dict[str, dict[str, tuple[str, ...]]]:
+    """Return each scheme's modeled influence factors per context."""
+    setup = place_setup("daily", seed)
+    extractors = setup.make_extractors()
+    return {
+        name: {
+            "indoor": extractor.feature_names(True),
+            "outdoor": extractor.feature_names(False),
+        }
+        for name, extractor in extractors.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table II — error-model coefficients and diagnostics.
+# ---------------------------------------------------------------------------
+
+
+def table2_error_models(
+    seed: int = DEFAULT_SEED,
+) -> dict[str, dict[str, RegressionSummary]]:
+    """Return the Table II regression summaries (per scheme, per context)."""
+    models = shared_models(seed)
+    table: dict[str, dict[str, RegressionSummary]] = {}
+    for name, model_set in models.items():
+        table[name] = {}
+        for label, model in (("indoor", model_set.indoor), ("outdoor", model_set.outdoor)):
+            if model.is_fitted:
+                table[name][label] = model.summary
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table III — normalized RMSE of online error prediction.
+# ---------------------------------------------------------------------------
+
+
+def _prediction_rmse(results: list[WalkResult]) -> dict[str, float]:
+    """Compute per-scheme normalized RMSE from UniLoc step records."""
+    per_scheme: dict[str, tuple[list[float], list[float]]] = {
+        name: ([], []) for name in SCHEME_NAMES
+    }
+    for result in results:
+        for record in result.records:
+            for name in SCHEME_NAMES:
+                predicted = record.decision.predicted_errors.get(name)
+                actual = record.scheme_errors.get(name)
+                if predicted is not None and actual is not None:
+                    per_scheme[name][0].append(predicted)
+                    per_scheme[name][1].append(actual)
+    rmse = {}
+    for name, (predicted, actual) in per_scheme.items():
+        if len(actual) >= 10 and sum(actual) > 0:
+            rmse[name] = normalized_rmse(predicted, actual)
+    return rmse
+
+
+def table3_prediction_rmse(seed: int = DEFAULT_SEED) -> dict[str, dict[str, float]]:
+    """Return normalized prediction RMSE for the four Table III conditions.
+
+    Conditions: {same, new} place x {same, different} device.  "Same"
+    places are the training office and open space (fresh walks); "new"
+    places are the second office and the urban open space.
+    """
+    models = shared_models(seed)
+    conditions = {
+        "same_place_same_device": (["office", "open-space"], NEXUS_5X),
+        "same_place_diff_device": (["office", "open-space"], LG_G3),
+        "new_place_same_device": (["office-2", "urban-open-space"], NEXUS_5X),
+        "new_place_diff_device": (["office-2", "urban-open-space"], LG_G3),
+    }
+    table = {}
+    for label, (places, device) in conditions.items():
+        results = []
+        for idx, place_name in enumerate(places):
+            setup = place_setup(place_name, seed)
+            results.append(
+                _run(
+                    setup,
+                    models,
+                    "survey",
+                    walk_seed=seed + 900 + idx,
+                    trace_seed=seed + 950 + idx,
+                    device=device,
+                )
+            )
+        table[label] = _prediction_rmse(results)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figures 3, 5, 6 — the daily path under UniLoc.
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=4)
+def daily_path_result(seed: int = DEFAULT_SEED) -> WalkResult:
+    """Run UniLoc over Path 1 once (serves Fig. 3 and Table IV)."""
+    setup = place_setup("daily", seed)
+    return _run(setup, shared_models(seed), "path1", walk_seed=seed, trace_seed=seed + 1)
+
+
+@functools.lru_cache(maxsize=4)
+def daily_path_pooled(seed: int = DEFAULT_SEED, n_walks: int = 3) -> WalkResult:
+    """Pool several Path 1 walks (serves Figs. 5 and 6).
+
+    The paper's Fig. 6 averages repeated walks of the same path; pooling
+    several sessions (different subjects' step-model biases) removes the
+    single-session luck in the per-scheme means.
+    """
+    setup = place_setup("daily", seed)
+    models = shared_models(seed)
+    results = [daily_path_result(seed)]
+    for idx in range(1, n_walks):
+        results.append(
+            _run(
+                setup,
+                models,
+                "path1",
+                walk_seed=seed + idx,
+                trace_seed=seed + 1 + 7 * idx,
+            )
+        )
+    return merge_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — the eight daily paths.
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=2)
+def fig7_eight_paths(seed: int = DEFAULT_SEED) -> WalkResult:
+    """Run UniLoc over all eight campus paths and pool the records."""
+    setup = place_setup("campus", seed)
+    models = shared_models(seed)
+    results = []
+    for idx, path_name in enumerate(sorted(setup.place.paths)):
+        results.append(
+            _run(
+                setup,
+                models,
+                path_name,
+                walk_seed=seed + idx,
+                trace_seed=seed + 40 + idx,
+                grid_cell_m=4.0,
+            )
+        )
+    return merge_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8a-c — different environments (new places).
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=8)
+def fig8_environment(place_name: str, seed: int = DEFAULT_SEED) -> WalkResult:
+    """Run the paper's per-place protocol: 10 trajectories of ~30 m.
+
+    Valid ``place_name`` values: ``"mall"``, ``"urban-open-space"``,
+    ``"office"`` (the office is a *trained* place, the other two are new).
+    """
+    setup = place_setup(place_name, seed)
+    models = shared_models(seed)
+    path = setup.place.paths["survey"]
+    window = min(100.0, path.length() * 0.6)
+    usable = max(path.length() - window - 1.0, 1.0)
+    results = []
+    for idx in range(10):
+        start_arc = usable * idx / 10.0
+        results.append(
+            _run(
+                setup,
+                models,
+                "survey",
+                walk_seed=seed + 60 + idx,
+                trace_seed=seed + 80 + idx,
+                start_arc=start_arc,
+                max_length=window,
+                start_noise_m=3.0,
+            )
+        )
+    return merge_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8d — heterogeneous devices with/without offset calibration.
+# ---------------------------------------------------------------------------
+
+
+def _calibrate_scans(
+    snapshots: list[SensorSnapshot], calibrator: OffsetCalibrator
+) -> list[SensorSnapshot]:
+    """Return snapshots with RSSI scans mapped to reference-device units."""
+    from dataclasses import replace
+
+    return [
+        replace(
+            snap,
+            wifi_scan=calibrator.correct(snap.wifi_scan),
+            cell_scan=calibrator.correct(snap.cell_scan),
+        )
+        for snap in snapshots
+    ]
+
+
+def _train_calibrator(setup: PlaceSetup, seed: int) -> OffsetCalibrator:
+    """Learn the LG G3 -> Nexus 5X RSSI offset from paired readings.
+
+    Both devices record the same short walk (same radio draws), and each
+    commonly-audible AP at each step yields one training pair — the
+    online-calibration procedure of §III-B.
+    """
+    walk, snaps_b = setup.record_walk(
+        "survey", device=LG_G3, walk_seed=seed + 500, trace_seed=seed + 501,
+        max_length=40.0,
+    )
+    _, snaps_ref = setup.record_walk(
+        "survey", device=NEXUS_5X, walk_seed=seed + 500, trace_seed=seed + 501,
+        max_length=40.0,
+    )
+    calibrator = OffsetCalibrator()
+    for snap_b, snap_ref in zip(snaps_b, snaps_ref):
+        for key in set(snap_b.wifi_scan) & set(snap_ref.wifi_scan):
+            calibrator.observe(snap_b.wifi_scan[key], snap_ref.wifi_scan[key])
+    return calibrator
+
+
+@functools.lru_cache(maxsize=2)
+def fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
+    """Run the office walk on an LG G3 with and without calibration.
+
+    The fingerprint database and the error models both come from the
+    reference device; the test device's offset RSSIs degrade matching
+    until the online-learned affine correction restores it.
+    """
+    setup = place_setup("office", seed)
+    models = shared_models(seed)
+    walk, snaps = setup.record_walk(
+        "survey", device=LG_G3, walk_seed=seed + 700, trace_seed=seed + 701
+    )
+    calibrator = _train_calibrator(setup, seed)
+
+    results = {}
+    for label, snapshots in (
+        ("without_calibration", snaps),
+        ("with_calibration", _calibrate_scans(snaps, calibrator)),
+    ):
+        framework = build_framework(
+            setup, models, walk.moments[0].position, scheme_seed=seed + 13
+        )
+        results[label] = run_walk(framework, setup.place, "survey", walk, snapshots)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table IV — energy; Table V — response time.
+# ---------------------------------------------------------------------------
+
+
+def table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
+    """Return the Table IV energy accounting over the daily path."""
+    return energy_table(daily_path_result(seed))
+
+
+def table5_response_time() -> ResponseTimeBreakdown:
+    """Return the modeled Table V response-time decomposition."""
+    return response_time()

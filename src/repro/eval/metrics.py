@@ -1,0 +1,70 @@
+"""Evaluation metrics: error CDFs, percentiles, normalized RMSE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def percentile(errors: list[float], q: float) -> float:
+    """Return the q-th percentile of an error sample (q in [0, 100]).
+
+    Raises:
+        ValueError: for an empty sample or q outside [0, 100].
+    """
+    if not errors:
+        raise ValueError("percentile of an empty sample is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(np.asarray(errors, dtype=float), q))
+
+
+def error_cdf(errors: list[float], grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` — the empirical CDF of an error sample.
+
+    Args:
+        errors: error values in meters.
+        grid: evaluation points; defaults to the sorted sample itself.
+
+    Raises:
+        ValueError: for an empty sample.
+    """
+    if not errors:
+        raise ValueError("CDF of an empty sample is undefined")
+    values = np.sort(np.asarray(errors, dtype=float))
+    if grid is None:
+        grid = values
+    fractions = np.searchsorted(values, grid, side="right") / len(values)
+    return grid, fractions
+
+
+def normalized_rmse(predicted: list[float], actual: list[float]) -> float:
+    """Return the paper's Eq. 7: RMSE of predictions over the mean error.
+
+    ``sqrt(mean((pred - actual)^2)) / mean(actual)`` — the metric of
+    Table III for online error-prediction quality.
+
+    Raises:
+        ValueError: on length mismatch, empty input, or zero mean error.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have the same length")
+    if not actual:
+        raise ValueError("normalized RMSE of an empty sample is undefined")
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    mean_error = float(act.mean())
+    if mean_error <= 0.0:
+        raise ValueError("mean actual error must be positive")
+    rmse = float(np.sqrt(((pred - act) ** 2).mean()))
+    return rmse / mean_error
+
+
+def mean_error(errors: list[float]) -> float:
+    """Return the mean of an error sample.
+
+    Raises:
+        ValueError: for an empty sample.
+    """
+    if not errors:
+        raise ValueError("mean of an empty sample is undefined")
+    return float(np.mean(errors))

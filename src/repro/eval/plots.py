@@ -1,0 +1,135 @@
+"""Text-mode rendering of the paper's figures.
+
+The evaluation figures are line/CDF plots; for a dependency-free
+library the benches and the CLI render them as unicode text:
+
+* :func:`render_cdf` — the CDF panels (Figs. 7, 8a-d),
+* :func:`render_series` — error vs distance (Figs. 2, 3),
+* :func:`render_bars` — usage / average-error bars (Figs. 5, 6).
+
+Renderers are pure functions from data to a string, so they are easily
+unit-tested and never touch a display.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Characters used for series in multi-line plots, in assignment order.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def render_cdf(
+    errors_by_system: dict[str, list[float]],
+    width: int = 60,
+    height: int = 16,
+    max_error: float | None = None,
+) -> str:
+    """Render empirical error CDFs as a text plot.
+
+    Args:
+        errors_by_system: system name -> error sample.
+        width, height: plot size in characters.
+        max_error: x-axis limit; defaults to the pooled 95th percentile.
+
+    Raises:
+        ValueError: if no system has data.
+    """
+    systems = {k: sorted(v) for k, v in errors_by_system.items() if v}
+    if not systems:
+        raise ValueError("no data to plot")
+    pooled = np.concatenate([np.asarray(v) for v in systems.values()])
+    limit = max_error if max_error is not None else float(np.percentile(pooled, 95))
+    limit = max(limit, 1e-6)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, values) in enumerate(systems.items()):
+        mark = SERIES_MARKS[idx % len(SERIES_MARKS)]
+        legend.append(f"{mark} {name}")
+        arr = np.asarray(values)
+        for col in range(width):
+            x = limit * (col + 0.5) / width
+            fraction = float(np.searchsorted(arr, x, side="right")) / len(arr)
+            row = height - 1 - int(fraction * (height - 1))
+            canvas[row][col] = mark
+    lines = ["CDF"]
+    for row_idx, row in enumerate(canvas):
+        fraction = 1.0 - row_idx / (height - 1)
+        lines.append(f"{fraction:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{'error (m)':^{width - 12}}{limit:6.1f}")
+    lines.append("      " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: list[float],
+    series: dict[str, list[float | None]],
+    width: int = 70,
+    height: int = 14,
+    x_label: str = "distance (m)",
+) -> str:
+    """Render y-vs-x series (e.g. error along a path) as a text plot.
+
+    ``None`` values mark unavailability (gaps in the line, like GPS
+    indoors in the paper's Fig. 2).
+
+    Raises:
+        ValueError: on empty input or mismatched lengths.
+    """
+    if not x or not series:
+        raise ValueError("no data to plot")
+    for name, values in series.items():
+        if len(values) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    finite = [
+        v for values in series.values() for v in values if v is not None
+    ]
+    if not finite:
+        raise ValueError("all series are empty")
+    y_max = max(max(finite), 1e-6)
+    x_min, x_max = min(x), max(x)
+    span = max(x_max - x_min, 1e-6)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        mark = SERIES_MARKS[idx % len(SERIES_MARKS)]
+        legend.append(f"{mark} {name}")
+        for xi, yi in zip(x, values):
+            if yi is None:
+                continue
+            col = min(width - 1, int((xi - x_min) / span * (width - 1)))
+            row = height - 1 - min(height - 1, int(yi / y_max * (height - 1)))
+            canvas[row][col] = mark
+    lines = [f"error (m), y-max {y_max:.1f}"]
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_min:<8.0f}{x_label:^{width - 16}}{x_max:>8.0f}")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: dict[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labeled horizontal bars (usage shares, average errors).
+
+    Raises:
+        ValueError: if ``values`` is empty or all non-positive.
+    """
+    if not values:
+        raise ValueError("no data to plot")
+    peak = max(values.values())
+    if peak <= 0.0:
+        raise ValueError("bar values must include a positive entry")
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(value / peak * width)))
+        lines.append(f"{name:<{label_width}} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Experiment setup: deploy a place, survey it, build schemes and models.
+
+This module encodes the paper's experimental protocol:
+
+* fingerprints are surveyed every 1-3 m indoors and ~12 m in open spaces
+  (§V), on the reference device (Nexus 5X);
+* error models are trained **once**, in the office (indoor context) and
+  the campus open space (outdoor context), with ~300 locations each
+  (§III-B), then reused everywhere — including the "new places" (mall,
+  urban open space, second office) that make up 89% of the evaluation;
+* for each test place, fresh scheme instances are built over that place's
+  own surveys and maps, wrapped with the *shared* error models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import (
+    ErrorModelSet,
+    ErrorModelTrainer,
+    FeatureExtractor,
+    FingerprintFeatures,
+    FusionFeatures,
+    GpsFeatures,
+    MotionFeatures,
+    SchemeBundle,
+    UniLocFramework,
+)
+from repro.geometry import Point
+from repro.motion import DEFAULT_GAIT, GaitProfile, generate_walk
+from repro.radio import FingerprintDatabase, RadioEnvironment
+from repro.schemes import (
+    CellularScheme,
+    FusionScheme,
+    GpsScheme,
+    LocalizationScheme,
+    PdrScheme,
+    RadarScheme,
+)
+from repro.sensors import NEXUS_5X, DeviceProfile, Smartphone
+from repro.world import (
+    NTU_FRAME,
+    Place,
+    build_office_place,
+    build_open_space_place,
+)
+
+#: Fingerprint survey spacing, per the paper's §V setup.
+INDOOR_FINGERPRINT_SPACING_M = 3.0
+OUTDOOR_FINGERPRINT_SPACING_M = 12.0
+
+#: The five aggregated schemes, in the paper's presentation order.
+SCHEME_NAMES = ("gps", "wifi", "cellular", "motion", "fusion")
+
+
+def survey_points(
+    place: Place,
+    path_name: str,
+    indoor_spacing: float = INDOOR_FINGERPRINT_SPACING_M,
+    outdoor_spacing: float = OUTDOOR_FINGERPRINT_SPACING_M,
+) -> list[Point]:
+    """Return fingerprint survey points along a path.
+
+    Walks the path at 1 m resolution and keeps a point whenever it is at
+    least the context-appropriate spacing from the last kept point —
+    matching how a human surveyor covers dense indoor grids but sparse
+    outdoor ones (outdoor regions are often inaccessible, §III-B).
+    """
+    path = place.paths[path_name]
+    points: list[Point] = []
+    last: Point | None = None
+    for s in np.arange(0.0, path.length() + 1.0, 1.0):
+        p = path.polyline.point_at_distance(float(s))
+        spacing = indoor_spacing if place.is_indoor_at(p) else outdoor_spacing
+        if last is None or p.distance_to(last) >= spacing - 1e-9:
+            points.append(p)
+            last = p
+    return points
+
+
+@dataclass
+class PlaceSetup:
+    """A deployed, surveyed place ready to run experiments in."""
+
+    place: Place
+    radio: RadioEnvironment
+    wifi_db: FingerprintDatabase
+    cell_db: FingerprintDatabase
+    seed: int
+
+    @classmethod
+    def create(cls, place: Place, seed: int = 0) -> "PlaceSetup":
+        """Deploy radio infrastructure and survey every path of the place."""
+        radio = RadioEnvironment.deploy(place, seed=seed)
+        rng = np.random.default_rng(seed + 1000)
+        points: list[Point] = []
+        for path_name in place.paths:
+            points.extend(survey_points(place, path_name))
+        return cls(
+            place=place,
+            radio=radio,
+            wifi_db=radio.survey_wifi(points, rng),
+            cell_db=radio.survey_cellular(points, rng),
+            seed=seed,
+        )
+
+    def make_schemes(
+        self, start: Point, scheme_seed: int = 0
+    ) -> dict[str, LocalizationScheme]:
+        """Build fresh instances of the five schemes for one walk."""
+        return {
+            "gps": GpsScheme(NTU_FRAME),
+            "wifi": RadarScheme(self.wifi_db),
+            "cellular": CellularScheme(self.cell_db),
+            "motion": PdrScheme(self.place, start, seed=scheme_seed),
+            "fusion": FusionScheme(
+                self.place, start, seed=scheme_seed + 1, database=self.wifi_db
+            ),
+        }
+
+    def make_extractors(self) -> dict[str, FeatureExtractor]:
+        """Build this place's feature extractors for the five schemes."""
+        return {
+            "gps": GpsFeatures(),
+            "wifi": FingerprintFeatures(self.wifi_db),
+            "cellular": FingerprintFeatures(self.cell_db, include_source_count=True),
+            "motion": MotionFeatures(self.place),
+            "fusion": FusionFeatures(self.place, self.wifi_db),
+        }
+
+    def record_walk(
+        self,
+        path_name: str,
+        gait: GaitProfile = DEFAULT_GAIT,
+        device: DeviceProfile = NEXUS_5X,
+        walk_seed: int = 0,
+        trace_seed: int = 1,
+        start_arc: float = 0.0,
+        max_length: float | None = None,
+    ):
+        """Generate a ground-truth walk and its sensor trace.
+
+        Returns:
+            ``(walk, snapshots)``.
+        """
+        path = self.place.paths[path_name]
+        walk = generate_walk(
+            path.polyline,
+            gait,
+            np.random.default_rng(walk_seed),
+            start_arc=start_arc,
+            max_length=max_length,
+        )
+        phone = Smartphone(self.radio, device)
+        return walk, phone.record_walk(walk, seed=trace_seed)
+
+
+def train_error_models(
+    seed: int = 0,
+    n_walks_per_place: int = 6,
+    return_trainer: bool = False,
+) -> dict[str, ErrorModelSet] | tuple[dict[str, ErrorModelSet], ErrorModelTrainer]:
+    """Train the five schemes' error models per the paper's protocol.
+
+    Data is collected in the office (indoor) and the campus open space
+    (outdoor).  One walk is recorded per test subject (the paper recruits
+    six persons of different ages and sexes); the session diversity is
+    what lets the regression see the full spread of step-model biases and
+    gyro drifts, so sigma_eps honestly reflects inter-session variation.
+
+    Args:
+        seed: master seed for deployment, walks, and traces.
+        n_walks_per_place: supervised walks per training place (each with
+            a different subject, cycling through the subject pool).
+        return_trainer: also return the trainer (for diagnostics like
+            Table II summaries).
+    """
+    from repro.motion import subject_pool
+
+    subjects = subject_pool()
+    trainer = ErrorModelTrainer()
+    extractors_for_fit: dict[str, FeatureExtractor] | None = None
+    for place_idx, build in enumerate((build_office_place, build_open_space_place)):
+        setup = PlaceSetup.create(build(), seed=seed + place_idx * 17)
+        extractors = setup.make_extractors()
+        if extractors_for_fit is None:
+            extractors_for_fit = extractors
+        for walk_idx in range(n_walks_per_place):
+            walk, snaps = setup.record_walk(
+                "survey",
+                gait=subjects[walk_idx % len(subjects)],
+                walk_seed=seed + 100 * place_idx + walk_idx,
+                trace_seed=seed + 200 * place_idx + walk_idx,
+            )
+            start = walk.moments[0].position
+            schemes = setup.make_schemes(start, scheme_seed=seed + walk_idx)
+            trainer.collect_walk(setup.place, schemes, extractors, walk, snaps)
+    assert extractors_for_fit is not None
+    models = trainer.fit_all(extractors_for_fit)
+    if return_trainer:
+        return models, trainer
+    return models
+
+
+def build_framework(
+    setup: PlaceSetup,
+    models: dict[str, ErrorModelSet],
+    start: Point,
+    scheme_seed: int = 0,
+    gps_duty_cycling: bool = True,
+    grid_cell_m: float = 2.0,
+) -> UniLocFramework:
+    """Assemble a UniLoc framework for one walk in one place."""
+    schemes = setup.make_schemes(start, scheme_seed=scheme_seed)
+    extractors = setup.make_extractors()
+    bundles = {
+        name: SchemeBundle(
+            scheme=schemes[name],
+            error_models=models[name],
+            extractor=extractors[name],
+        )
+        for name in SCHEME_NAMES
+    }
+    return UniLocFramework(
+        place=setup.place,
+        bundles=bundles,
+        grid_cell_m=grid_cell_m,
+        gps_duty_cycling=gps_duty_cycling,
+    )

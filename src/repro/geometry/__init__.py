@@ -1,0 +1,19 @@
+"""2-D geometry substrate: points, segments, polylines, polygons, grids."""
+
+from repro.geometry.grid import Grid
+from repro.geometry.point import ORIGIN, Point, centroid
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment, heading_difference, wrap_angle
+
+__all__ = [
+    "ORIGIN",
+    "Grid",
+    "Point",
+    "Polygon",
+    "Polyline",
+    "Segment",
+    "centroid",
+    "heading_difference",
+    "wrap_angle",
+]

@@ -1,0 +1,109 @@
+"""Immutable 2-D points and basic vector arithmetic.
+
+All world coordinates in this project are expressed in a local map frame:
+meters east (``x``) and meters north (``y``) of an arbitrary origin.  The
+class is intentionally tiny and allocation-friendly because particle filters
+create millions of positions per experiment; performance-critical code uses
+raw ``numpy`` arrays instead and converts at the API boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2-D point (or vector) in the local map frame, in meters."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Return the dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Return the z-component of the 2-D cross product with ``other``."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Return the Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading_to(self, other: "Point") -> float:
+        """Return the compass-style heading from this point to ``other``.
+
+        Headings are radians measured counter-clockwise from the +x (east)
+        axis, in ``(-pi, pi]``, matching :func:`math.atan2` conventions.
+        """
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def normalized(self) -> "Point":
+        """Return a unit vector in the same direction.
+
+        Raises:
+            ValueError: if the point is the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / length, self.y / length)
+
+    def rotated(self, angle: float) -> "Point":
+        """Return this vector rotated counter-clockwise by ``angle`` radians."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Point(self.x * cos_a - self.y * sin_a, self.x * sin_a + self.y * cos_a)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linearly interpolate between this point (t=0) and ``other`` (t=1)."""
+        return Point(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def centroid(points: list[Point]) -> Point:
+    """Return the arithmetic mean of ``points``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    if not points:
+        raise ValueError("centroid of an empty point list is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = len(points)
+    return Point(sx / n, sy / n)

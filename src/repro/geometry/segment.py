@@ -1,0 +1,117 @@
+"""Line segments with projection and distance utilities.
+
+Segments are the building blocks of walkable corridor graphs
+(:mod:`repro.world.floorplan`) and of wall geometry used by the radio
+propagation model to count obstructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        """Return the segment length in meters."""
+        return self.start.distance_to(self.end)
+
+    def direction(self) -> Point:
+        """Return the unit direction vector from start to end.
+
+        Raises:
+            ValueError: for a degenerate (zero-length) segment.
+        """
+        return (self.end - self.start).normalized()
+
+    def heading(self) -> float:
+        """Return the heading of the segment in radians (east = 0)."""
+        return self.start.heading_to(self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Return the point at parameter ``t`` (0 = start, 1 = end)."""
+        return self.start.lerp(self.end, t)
+
+    def project_parameter(self, point: Point) -> float:
+        """Return the parameter of the closest point on the *infinite* line.
+
+        The result is unclamped; values outside [0, 1] indicate the
+        projection falls beyond the segment endpoints.
+        """
+        d = self.end - self.start
+        denom = d.dot(d)
+        if denom == 0.0:
+            return 0.0
+        return (point - self.start).dot(d) / denom
+
+    def closest_point(self, point: Point) -> Point:
+        """Return the closest point on the segment to ``point``."""
+        t = min(1.0, max(0.0, self.project_parameter(point)))
+        return self.point_at(t)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Return the Euclidean distance from ``point`` to the segment."""
+        return self.closest_point(point).distance_to(point)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Return True if this segment properly intersects ``other``.
+
+        Touching at an endpoint counts as an intersection; collinear
+        overlapping segments also count.  This is used by the propagation
+        model to decide whether a wall blocks a transmitter-receiver ray,
+        where a conservative (inclusive) answer is the safe one.
+        """
+        p, r = self.start, self.end - self.start
+        q, s = other.start, other.end - other.start
+        r_cross_s = r.cross(s)
+        q_minus_p = q - p
+        if r_cross_s == 0.0:
+            if q_minus_p.cross(r) != 0.0:
+                return False  # parallel, non-collinear
+            # Collinear: check 1-D overlap along r.
+            r_dot_r = r.dot(r)
+            if r_dot_r == 0.0:
+                return self.start.distance_to(other.closest_point(self.start)) == 0.0
+            t0 = q_minus_p.dot(r) / r_dot_r
+            t1 = t0 + s.dot(r) / r_dot_r
+            lo, hi = min(t0, t1), max(t0, t1)
+            return hi >= 0.0 and lo <= 1.0
+        t = q_minus_p.cross(s) / r_cross_s
+        u = q_minus_p.cross(r) / r_cross_s
+        return 0.0 <= t <= 1.0 and 0.0 <= u <= 1.0
+
+    def midpoint(self) -> Point:
+        """Return the midpoint of the segment."""
+        return self.point_at(0.5)
+
+
+def heading_difference(a: float, b: float) -> float:
+    """Return the absolute angular difference between two headings.
+
+    The result is wrapped into ``[0, pi]`` so that headings of 179 degrees
+    and -179 degrees are 2 degrees apart, not 358.
+    """
+    diff = math.fmod(a - b, 2.0 * math.pi)
+    if diff > math.pi:
+        diff -= 2.0 * math.pi
+    elif diff < -math.pi:
+        diff += 2.0 * math.pi
+    return abs(diff)
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap ``angle`` into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle, 2.0 * math.pi)
+    if wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    elif wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    return wrapped

@@ -1,0 +1,21 @@
+"""Pedestrian motion substrate: gait models and ground-truth walks."""
+
+from repro.motion.gait import (
+    DEFAULT_GAIT,
+    STEP_PERIOD_MAX_S,
+    STEP_PERIOD_MIN_S,
+    GaitProfile,
+    subject_pool,
+)
+from repro.motion.walker import Moment, Walk, generate_walk
+
+__all__ = [
+    "DEFAULT_GAIT",
+    "STEP_PERIOD_MAX_S",
+    "STEP_PERIOD_MIN_S",
+    "GaitProfile",
+    "Moment",
+    "Walk",
+    "generate_walk",
+    "subject_pool",
+]

@@ -1,0 +1,75 @@
+"""Pedestrian gait models.
+
+The paper tests with six persons of different ages and sexes and relies on
+the PDR scheme's step-model personalization to absorb gait differences.
+A :class:`GaitProfile` captures the parameters that matter to the sensing
+pipeline: step length, step frequency (the paper's normal step period is
+0.4-0.7 s), and hand trembling, which produces step-count jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Human step periods outside this band are treated as inference errors by
+#: the PDR compensation mechanism (§III-B).
+STEP_PERIOD_MIN_S = 0.4
+STEP_PERIOD_MAX_S = 0.7
+
+
+@dataclass(frozen=True)
+class GaitProfile:
+    """One person's walking characteristics.
+
+    Attributes:
+        name: identifier for experiment bookkeeping.
+        step_length_m: mean stride length.
+        step_period_s: mean time per step; must lie in the human band.
+        trembling: hand-shake level in [0, 1]; drives spurious/missed step
+            detections and extra heading noise.
+        step_length_cv: coefficient of variation of individual steps.
+    """
+
+    name: str
+    step_length_m: float
+    step_period_s: float
+    trembling: float = 0.1
+    step_length_cv: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not STEP_PERIOD_MIN_S <= self.step_period_s <= STEP_PERIOD_MAX_S:
+            raise ValueError(
+                f"step period {self.step_period_s} s outside the human band "
+                f"[{STEP_PERIOD_MIN_S}, {STEP_PERIOD_MAX_S}]"
+            )
+        if not 0.0 <= self.trembling <= 1.0:
+            raise ValueError("trembling must be in [0, 1]")
+        if self.step_length_m <= 0.0:
+            raise ValueError("step length must be positive")
+
+    def draw_step_length(self, rng: np.random.Generator) -> float:
+        """Sample one step's length."""
+        sigma = self.step_length_m * self.step_length_cv
+        return max(0.1, float(rng.normal(self.step_length_m, sigma)))
+
+
+#: The default test subject.
+DEFAULT_GAIT = GaitProfile("subject-1", step_length_m=0.70, step_period_s=0.5)
+
+
+def subject_pool() -> list[GaitProfile]:
+    """Return six gait profiles spanning the paper's subject pool.
+
+    Different sexes and ages (20s to 50s) translate into different step
+    lengths, periods, and trembling levels.
+    """
+    return [
+        GaitProfile("male-20s", 0.78, 0.48, trembling=0.08),
+        GaitProfile("male-30s", 0.75, 0.50, trembling=0.10),
+        GaitProfile("male-50s", 0.68, 0.58, trembling=0.15),
+        GaitProfile("female-20s", 0.66, 0.47, trembling=0.08),
+        GaitProfile("female-30s", 0.64, 0.52, trembling=0.12),
+        GaitProfile("female-50s", 0.60, 0.60, trembling=0.18),
+    ]

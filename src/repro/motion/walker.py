@@ -1,0 +1,115 @@
+"""Ground-truth trajectory generation: a pedestrian walking a path.
+
+A :class:`Walk` is the discretized ground truth of one experiment: the
+walker advances along a path polyline one step at a time, and every
+:class:`Moment` records the true position, heading, and step parameters.
+Sensor simulation (:mod:`repro.sensors.phone`) then derives what the phone
+*measures* at each moment, and the schemes never see the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point, Polyline
+from repro.motion.gait import GaitProfile
+
+
+@dataclass(frozen=True)
+class Moment:
+    """One instant of ground truth along a walk."""
+
+    index: int
+    time_s: float
+    position: Point
+    heading: float
+    arc_length: float
+    step_length: float
+    step_period: float
+
+
+@dataclass(frozen=True)
+class Walk:
+    """A complete ground-truth walk along a path."""
+
+    polyline: Polyline
+    gait: GaitProfile
+    moments: tuple[Moment, ...]
+
+    def __len__(self) -> int:
+        return len(self.moments)
+
+    def duration_s(self) -> float:
+        """Return the total walking time."""
+        return self.moments[-1].time_s if self.moments else 0.0
+
+    def length_m(self) -> float:
+        """Return the arc length actually walked."""
+        return self.moments[-1].arc_length if self.moments else 0.0
+
+
+def generate_walk(
+    polyline: Polyline,
+    gait: GaitProfile,
+    rng: np.random.Generator,
+    start_arc: float = 0.0,
+    max_length: float | None = None,
+) -> Walk:
+    """Walk a polyline step by step and return the ground-truth moments.
+
+    Args:
+        polyline: the path to walk.
+        gait: the walker's gait profile.
+        rng: randomness source for per-step variation.
+        start_arc: arc length at which the walk starts (lets experiments
+            carve sub-trajectories out of a long survey path).
+        max_length: stop after walking this many meters (defaults to the
+            end of the path).
+
+    Returns:
+        A :class:`Walk`; the first moment is at ``start_arc`` with zero
+        elapsed time.
+
+    Raises:
+        ValueError: if ``start_arc`` is beyond the end of the polyline.
+    """
+    total = polyline.length()
+    if start_arc >= total:
+        raise ValueError("start_arc is beyond the end of the path")
+    end_arc = total if max_length is None else min(total, start_arc + max_length)
+
+    moments: list[Moment] = []
+    arc = start_arc
+    time_s = 0.0
+    index = 0
+    moments.append(
+        Moment(
+            index=index,
+            time_s=time_s,
+            position=polyline.point_at_distance(arc),
+            heading=polyline.heading_at_distance(arc),
+            arc_length=arc,
+            step_length=0.0,
+            step_period=gait.step_period_s,
+        )
+    )
+    while arc < end_arc - 1e-9:
+        step = min(gait.draw_step_length(rng), end_arc - arc)
+        period = max(0.2, float(rng.normal(gait.step_period_s, 0.03)))
+        arc += step
+        time_s += period
+        index += 1
+        moments.append(
+            Moment(
+                index=index,
+                time_s=time_s,
+                position=polyline.point_at_distance(arc),
+                heading=polyline.heading_at_distance(arc),
+                arc_length=arc,
+                step_length=step,
+                step_period=period,
+            )
+        )
+    return Walk(polyline=polyline, gait=gait, moments=tuple(moments))

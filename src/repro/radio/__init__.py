@@ -1,0 +1,49 @@
+"""Radio substrate: propagation, transmitters, satellites, fingerprints."""
+
+from repro.radio.deployment import RadioEnvironment
+from repro.radio.fingerprint import MISSING_RSSI_DBM, Fingerprint, FingerprintDatabase
+from repro.radio.gaussian_fingerprint import (
+    GaussianFingerprint,
+    GaussianFingerprintDatabase,
+    GaussianReading,
+)
+from repro.radio.propagation import (
+    CELL_SENSITIVITY_DBM,
+    CELLULAR_MODEL,
+    WIFI_MODEL,
+    WIFI_SENSITIVITY_DBM,
+    PropagationModel,
+)
+from repro.radio.satellites import (
+    ELEVATION_MASK_DEG,
+    MIN_SATELLITES_FOR_FIX,
+    Constellation,
+    Satellite,
+)
+from repro.radio.transmitters import (
+    Transmitter,
+    deploy_access_points,
+    deploy_cell_towers,
+)
+
+__all__ = [
+    "CELL_SENSITIVITY_DBM",
+    "CELLULAR_MODEL",
+    "ELEVATION_MASK_DEG",
+    "MIN_SATELLITES_FOR_FIX",
+    "MISSING_RSSI_DBM",
+    "WIFI_MODEL",
+    "WIFI_SENSITIVITY_DBM",
+    "Constellation",
+    "Fingerprint",
+    "FingerprintDatabase",
+    "GaussianFingerprint",
+    "GaussianFingerprintDatabase",
+    "GaussianReading",
+    "PropagationModel",
+    "RadioEnvironment",
+    "Satellite",
+    "Transmitter",
+    "deploy_access_points",
+    "deploy_cell_towers",
+]

@@ -1,0 +1,153 @@
+"""Offline RSSI fingerprint databases (RADAR-style).
+
+A fingerprint database maps surveyed positions to RSSI vectors.  Both the
+Wi-Fi scheme (RADAR [1]) and the cellular scheme (Otsason et al. [22]) use
+the same structure and the same matching algorithm, exactly as in the
+paper's motivation section.
+
+The database also exposes the two influence factors the paper's error
+models extract from it (Table I):
+
+* **spatial density of fingerprints** (beta_1) — the average distance
+  between fingerprints around the queried location, and
+* **RSSI distance deviation** (beta_2) — the standard deviation of the
+  RSSI distances of the best ``k`` candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+
+#: RSSI assumed for a transmitter missing from one of the two vectors
+#: being compared (just below every radio's sensitivity floor).
+MISSING_RSSI_DBM = -100.0
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """One surveyed location and its RSSI vector."""
+
+    position: Point
+    rssi: dict[str, float]
+
+
+@dataclass
+class FingerprintDatabase:
+    """An offline RSSI survey of a place.
+
+    Attributes:
+        entries: surveyed fingerprints, in survey order.
+    """
+
+    entries: list[Fingerprint]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a fingerprint database cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @staticmethod
+    def rssi_distance(a: dict[str, float], b: dict[str, float]) -> float:
+        """Return the Euclidean distance between two RSSI vectors.
+
+        The distance is computed over the union of transmitter identifiers;
+        a transmitter audible in only one vector contributes its offset
+        from :data:`MISSING_RSSI_DBM`, which penalizes mismatched AP sets
+        the way RADAR implementations do.  Two empty vectors are maximally
+        distant (``inf``) rather than identical.
+        """
+        keys = set(a) | set(b)
+        if not keys:
+            return float("inf")
+        acc = 0.0
+        for key in keys:
+            diff = a.get(key, MISSING_RSSI_DBM) - b.get(key, MISSING_RSSI_DBM)
+            acc += diff * diff
+        return math.sqrt(acc)
+
+    def nearest(self, rssi: dict[str, float], k: int = 3) -> list[tuple[Fingerprint, float]]:
+        """Return the ``k`` entries with the smallest RSSI distance.
+
+        Raises:
+            ValueError: if ``k`` is not positive.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scored = [
+            (entry, self.rssi_distance(rssi, entry.rssi)) for entry in self.entries
+        ]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:k]
+
+    def spatial_density_around(self, point: Point, radius: float = 15.0) -> float:
+        """Return the average inter-fingerprint distance near ``point``.
+
+        This is the paper's beta_1 feature: large values mean a sparse
+        survey and therefore likely-high fingerprinting error.  The value
+        is the mean nearest-neighbor distance among fingerprints within
+        ``radius`` of the query; if fewer than two fingerprints are in
+        range the distance from the query to its nearest fingerprint is
+        used instead (an even stronger sparsity signal).
+        """
+        nearby = [
+            e for e in self.entries if e.position.distance_to(point) <= radius
+        ]
+        if len(nearby) < 2:
+            best = min(e.position.distance_to(point) for e in self.entries)
+            return max(best, radius)
+        acc = 0.0
+        for entry in nearby:
+            others = (
+                o.position.distance_to(entry.position)
+                for o in nearby
+                if o is not entry
+            )
+            acc += min(others)
+        return acc / len(nearby)
+
+    def candidate_deviation(self, rssi: dict[str, float], k: int = 3) -> float:
+        """Return the beta_2 feature: std-dev of the top-k RSSI distances.
+
+        A *small* deviation means the best candidates are nearly
+        indistinguishable, so the chosen one is likely wrong — the paper
+        accordingly learns a negative coefficient for this feature.
+        """
+        top = self.nearest(rssi, k=k)
+        distances = np.array([d for _, d in top if math.isfinite(d)])
+        if distances.size < 2:
+            return 0.0
+        return float(np.std(distances))
+
+    def downsample(self, spacing: float) -> "FingerprintDatabase":
+        """Thin the survey to approximately ``spacing`` meters between entries.
+
+        Greedy min-distance thinning in survey order — the same operation
+        the paper performs to study the effect of coarser fingerprint
+        grids (5 m, 10 m, 15 m).
+
+        Raises:
+            ValueError: if ``spacing`` is not positive.
+        """
+        if spacing <= 0.0:
+            raise ValueError("spacing must be positive")
+        kept: list[Fingerprint] = []
+        for entry in self.entries:
+            if all(
+                entry.position.distance_to(other.position) >= spacing
+                for other in kept
+            ):
+                kept.append(entry)
+        if not kept:
+            kept = [self.entries[0]]
+        return FingerprintDatabase(kept)
+
+    def positions(self) -> np.ndarray:
+        """Return an ``(n, 2)`` array of fingerprint positions."""
+        return np.array([[e.position.x, e.position.y] for e in self.entries])

@@ -1,0 +1,133 @@
+"""Multi-sample Gaussian fingerprints (the Horus [2] database).
+
+Horus handles temporal RSSI variation by learning a *distribution* of
+RSSIs per AP per location, which — as the paper notes when excluding it
+from the five aggregated schemes — "requires hundreds of samples to
+capture an accurate distribution at one location".  This module is that
+database: each surveyed location stores per-AP mean and deviation, and
+matching is by log-likelihood instead of Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.radio.fingerprint import MISSING_RSSI_DBM
+
+#: Deviation assumed for an AP with too few samples to estimate one.
+DEFAULT_STD_DB = 4.0
+
+#: Probability floor per AP, preventing one outlier from zeroing a
+#: location's likelihood (Horus uses the same guard).
+LOG_LIKELIHOOD_FLOOR = math.log(1e-6)
+
+
+@dataclass(frozen=True)
+class GaussianReading:
+    """Per-AP RSSI statistics at one surveyed location."""
+
+    mean: float
+    std: float
+    count: int
+
+
+@dataclass(frozen=True)
+class GaussianFingerprint:
+    """One surveyed location with per-AP RSSI distributions."""
+
+    position: Point
+    readings: dict[str, GaussianReading]
+
+
+@dataclass
+class GaussianFingerprintDatabase:
+    """A Horus-style survey: per-location, per-AP Gaussian RSSI models."""
+
+    entries: list[GaussianFingerprint]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a Gaussian fingerprint database cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_samples(
+        cls, surveys: list[tuple[Point, list[dict[str, float]]]]
+    ) -> "GaussianFingerprintDatabase":
+        """Build the database from repeated scans per location.
+
+        Args:
+            surveys: ``(position, scans)`` pairs; each scan is an RSSI
+                vector.  APs missing from a scan are treated as absent
+                (they do not contribute a sample).
+
+        Raises:
+            ValueError: if no location has any audible sample.
+        """
+        entries = []
+        for position, scans in surveys:
+            samples: dict[str, list[float]] = {}
+            for scan in scans:
+                for key, value in scan.items():
+                    samples.setdefault(key, []).append(value)
+            if not samples:
+                continue
+            readings = {}
+            for key, values in samples.items():
+                std = float(np.std(values)) if len(values) > 1 else DEFAULT_STD_DB
+                readings[key] = GaussianReading(
+                    mean=float(np.mean(values)),
+                    std=max(std, 0.5),
+                    count=len(values),
+                )
+            entries.append(GaussianFingerprint(position, readings))
+        if not entries:
+            raise ValueError("surveys contained no audible samples")
+        return cls(entries)
+
+    @staticmethod
+    def log_likelihood(scan: dict[str, float], entry: GaussianFingerprint) -> float:
+        """Return the log-likelihood of a scan under one location's model.
+
+        Evaluated over the union of APs: an AP audible online but not in
+        the model (or vice versa) is scored against the sensitivity floor
+        with the default deviation, and every per-AP term is floored so a
+        single outlier cannot veto a location.
+        """
+        keys = set(scan) | set(entry.readings)
+        if not keys:
+            return float("-inf")
+        total = 0.0
+        for key in keys:
+            value = scan.get(key, MISSING_RSSI_DBM)
+            reading = entry.readings.get(key)
+            if reading is None:
+                mean, std = MISSING_RSSI_DBM, DEFAULT_STD_DB
+            else:
+                mean, std = reading.mean, reading.std
+            z = (value - mean) / std
+            term = -0.5 * z * z - math.log(std) - 0.5 * math.log(2.0 * math.pi)
+            total += max(term, LOG_LIKELIHOOD_FLOOR)
+        return total
+
+    def most_likely(
+        self, scan: dict[str, float], k: int = 3
+    ) -> list[tuple[GaussianFingerprint, float]]:
+        """Return the ``k`` most likely locations with their log-likelihoods.
+
+        Raises:
+            ValueError: if ``k`` is not positive.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scored = [
+            (entry, self.log_likelihood(scan, entry)) for entry in self.entries
+        ]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[:k]

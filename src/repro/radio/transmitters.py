@@ -1,0 +1,101 @@
+"""Wi-Fi access points and cellular towers, and their deployment.
+
+Access points are deployed with a density driven by the environment
+profile (dense in offices and malls, nearly absent in basements and open
+spaces), which is precisely the spatial diversity the paper exploits:
+RADAR shines where APs are dense and fails where they are sparse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.world import EnvironmentType, Place, profile_of
+
+
+@dataclass(frozen=True)
+class Transmitter:
+    """A fixed radio transmitter (AP or cell tower)."""
+
+    identifier: str
+    position: Point
+    seed: int  # seeds the per-transmitter shadowing field
+
+
+def _region_area_and_anchor(place: Place) -> list[tuple[float, Point, Point, EnvironmentType]]:
+    """Return (area, corner, extent, env) for each region's bounding box."""
+    boxes = []
+    for region in place.regions:
+        min_x, min_y, max_x, max_y = region.polygon.bounding_box()
+        area = (max_x - min_x) * (max_y - min_y)
+        boxes.append(
+            (
+                area,
+                Point(min_x, min_y),
+                Point(max_x - min_x, max_y - min_y),
+                region.env_type,
+            )
+        )
+    return boxes
+
+
+def deploy_access_points(place: Place, rng: np.random.Generator) -> list[Transmitter]:
+    """Deploy Wi-Fi APs over a place according to environment densities.
+
+    Each environment region receives ``area * ap_per_100m2 / 100`` APs
+    (probabilistically rounded) placed uniformly in its bounding box, with
+    a small jitter outside so edge coverage is realistic.
+
+    Returns:
+        The AP list; identifiers look like ``ap-<n>``.
+    """
+    aps: list[Transmitter] = []
+    counter = 0
+    for area, corner, extent, env in _region_area_and_anchor(place):
+        density = profile_of(env).ap_per_100m2
+        expected = area * density / 100.0
+        count = int(expected) + (1 if rng.random() < expected - int(expected) else 0)
+        for _ in range(count):
+            pos = Point(
+                corner.x + rng.uniform(-3.0, extent.x + 3.0),
+                corner.y + rng.uniform(-3.0, extent.y + 3.0),
+            )
+            aps.append(
+                Transmitter(f"ap-{counter}", pos, seed=int(rng.integers(1, 2**31)))
+            )
+            counter += 1
+    return aps
+
+
+def deploy_cell_towers(
+    place: Place,
+    rng: np.random.Generator,
+    n_towers: int = 7,
+    ring_radius_m: float = 600.0,
+) -> list[Transmitter]:
+    """Deploy macro cell towers on a ring around the place.
+
+    Towers sit hundreds of meters out (macro cells), so their RSSI varies
+    smoothly across the place — cellular fingerprinting is coarse but it
+    penetrates basements better than Wi-Fi reaches them.
+
+    Raises:
+        ValueError: if ``n_towers`` is not positive.
+    """
+    if n_towers <= 0:
+        raise ValueError("n_towers must be positive")
+    min_x, min_y, max_x, max_y = place.boundary.bounding_box()
+    center = Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0)
+    towers = []
+    for idx in range(n_towers):
+        angle = 2.0 * math.pi * idx / n_towers + rng.uniform(-0.2, 0.2)
+        radius = ring_radius_m * rng.uniform(0.8, 1.25)
+        pos = center + Point(math.cos(angle), math.sin(angle)) * radius
+        towers.append(
+            Transmitter(f"cell-{idx}", pos, seed=int(rng.integers(1, 2**31)))
+        )
+    return towers

@@ -1,0 +1,102 @@
+"""The common interface every localization scheme implements.
+
+UniLoc treats schemes as black boxes (§III-A): it sees only their final
+outputs plus the raw sensor data.  :class:`SchemeOutput` is that final
+output — a point estimate plus whatever probabilistic shape the scheme can
+naturally provide (particle clouds for PDR/fusion, scored candidates for
+fingerprinting, an isotropic Gaussian for GPS).  The ensemble engine
+rasterizes any of the three shapes onto the place grid to get the
+``P(l = l_i | M_n, s_t)`` terms of the paper's Eq. 3.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Grid, Point
+from repro.sensors import SensorSnapshot
+
+
+@dataclass
+class SchemeOutput:
+    """One scheme's location estimate at one instant.
+
+    Attributes:
+        position: the scheme's point estimate in map coordinates.
+        spread: the scheme's own dispersion estimate in meters (particle
+            std-dev, candidate spread, or GPS sigma); used as the Gaussian
+            width when no richer shape is available.
+        samples: optional ``(n, 2)`` particle positions.
+        sample_weights: optional ``(n,)`` particle weights.
+        candidates: optional scored location candidates
+            ``[(point, weight), ...]`` from fingerprint matching.
+        quality: scheme-specific measurement context (e.g. top-k RSSI
+            distances) that feature extractors may read.
+    """
+
+    position: Point
+    spread: float
+    samples: np.ndarray | None = None
+    sample_weights: np.ndarray | None = None
+    candidates: list[tuple[Point, float]] | None = None
+    quality: dict[str, float] = field(default_factory=dict)
+
+    def grid_posterior(self, grid: Grid) -> np.ndarray:
+        """Rasterize this output into a normalized posterior over ``grid``.
+
+        Particle schemes contribute their particle histogram; everything
+        else contributes an isotropic Gaussian centered at the point
+        estimate with the scheme's own spread.  Both shapes have their
+        mean at (or very near) the scheme's reported location, which keeps
+        the BMA mixture mean (paper Eq. 4) consistent with the outputs
+        being averaged.  The top-k candidate list is deliberately *not*
+        mixed in: candidates of a coarse fingerprint scheme can span tens
+        of meters, and a candidate-mixture posterior would move that
+        scheme's contribution far from its reported estimate (see
+        :meth:`candidate_posterior` for the multimodal alternative).
+        """
+        if self.samples is not None and len(self.samples) > 0:
+            return grid.histogram_posterior(self.samples, self.sample_weights)
+        return grid.gaussian_posterior(self.position, max(self.spread, 1.0))
+
+    def candidate_posterior(self, grid: Grid) -> np.ndarray | None:
+        """Rasterize the top-k candidate mixture (multimodal shape).
+
+        Returns None when the scheme reported no candidates.  Exposed for
+        analysis and ablation; the BMA engine uses :meth:`grid_posterior`.
+        """
+        if not self.candidates:
+            return None
+        posterior = np.zeros(grid.n_cells)
+        for point, weight in self.candidates:
+            if weight > 0.0:
+                posterior += weight * grid.gaussian_posterior(
+                    point, max(self.spread, grid.cell_size)
+                )
+        total = posterior.sum()
+        if total <= 0.0:
+            return None
+        return posterior / total
+
+
+class LocalizationScheme(abc.ABC):
+    """A localization scheme run as a black box.
+
+    Subclasses implement :meth:`estimate`; returning ``None`` signals that
+    the scheme is unavailable at this instant (no GPS fix, no audible AP),
+    in which case UniLoc temporarily excludes it by zeroing its confidence
+    (§IV-A).
+    """
+
+    #: Short identifier used in reports ("gps", "wifi", ...).
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Produce a location estimate from one sensor snapshot."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a new walk (default: none)."""

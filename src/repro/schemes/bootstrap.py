@@ -1,0 +1,106 @@
+"""Zee-style PDR start bootstrapping.
+
+Dead reckoning needs a starting position.  The paper's PDR uses map
+landmarks and Wi-Fi signatures to calibrate; Zee [9] specifically uses
+Wi-Fi "to find the start of trajectories for PDR".  This module
+implements that: accumulate the first few Wi-Fi scans of a walk, match
+each against the offline fingerprint database, and return the weighted
+centroid of the matches as the start estimate — with a spread that
+tells the particle filter how widely to scatter its initial cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.radio import FingerprintDatabase
+from repro.sensors import SensorSnapshot
+
+#: Softmin temperature (dB) over match distances.
+MATCH_TEMPERATURE_DB = 8.0
+
+
+@dataclass(frozen=True)
+class StartEstimate:
+    """A bootstrapped trajectory start."""
+
+    position: Point
+    spread: float
+    n_scans_used: int
+
+
+@dataclass
+class ZeeBootstrap:
+    """Estimates a walk's start position from its first Wi-Fi scans.
+
+    Attributes:
+        database: the offline Wi-Fi fingerprint survey.
+        n_scans: how many initial scans to accumulate before answering.
+        k: matches considered per scan.
+    """
+
+    database: FingerprintDatabase
+    n_scans: int = 5
+    k: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_scans <= 0 or self.k <= 0:
+            raise ValueError("n_scans and k must be positive")
+        self._matches: list[tuple[Point, float]] = []
+        self._scans_seen = 0
+
+    @property
+    def is_ready(self) -> bool:
+        """Return True once enough scans have been observed."""
+        return self._scans_seen >= self.n_scans and bool(self._matches)
+
+    def observe(self, snapshot: SensorSnapshot) -> None:
+        """Feed one snapshot from the start of the walk."""
+        self._scans_seen += 1
+        scan = snapshot.wifi_scan
+        if not scan:
+            return
+        top = self.database.nearest(scan, k=self.k)
+        finite = [(e, d) for e, d in top if math.isfinite(d)]
+        if not finite:
+            return
+        best = finite[0][1]
+        for entry, distance in finite:
+            weight = math.exp(-(distance - best) / MATCH_TEMPERATURE_DB)
+            self._matches.append((entry.position, weight))
+
+    def estimate(self) -> StartEstimate | None:
+        """Return the bootstrapped start, or None without usable scans."""
+        if not self._matches:
+            return None
+        total = sum(w for _, w in self._matches)
+        x = sum(p.x * w for p, w in self._matches) / total
+        y = sum(p.y * w for p, w in self._matches) / total
+        center = Point(x, y)
+        variance = sum(
+            w * center.distance_to(p) ** 2 for p, w in self._matches
+        ) / total
+        return StartEstimate(
+            position=center,
+            spread=max(math.sqrt(variance), 1.0),
+            n_scans_used=self._scans_seen,
+        )
+
+    def reset(self) -> None:
+        """Forget accumulated scans (new walk)."""
+        self._matches = []
+        self._scans_seen = 0
+
+
+def bootstrap_start(
+    database: FingerprintDatabase,
+    snapshots: list[SensorSnapshot],
+    n_scans: int = 5,
+) -> StartEstimate | None:
+    """One-shot convenience: bootstrap a start from a trace prefix."""
+    zee = ZeeBootstrap(database, n_scans=n_scans)
+    for snapshot in snapshots[:n_scans]:
+        zee.observe(snapshot)
+    return zee.estimate()

@@ -1,0 +1,62 @@
+"""Cell-ID positioning — the coarsest baseline scheme.
+
+The paper's related work cites cell-tower-ID-based positioning ([17]:
+the phone's serving tower identifies a broad region).  We implement the
+classic variant: the estimate is the centroid of the offline locations
+at which the currently strongest tower was also the strongest.  It
+needs no extra hardware, works anywhere with cellular coverage, and is
+wildly inaccurate — a useful stress test for UniLoc's weighting (a
+scheme this coarse must receive a near-zero weight when anything better
+is available).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, centroid
+from repro.radio import FingerprintDatabase
+from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.sensors import SensorSnapshot
+
+
+def _strongest(scan: dict[str, float]) -> str:
+    return max(scan, key=scan.get)
+
+
+@dataclass
+class CellIdScheme(LocalizationScheme):
+    """Serving-cell positioning from an offline cellular survey."""
+
+    database: FingerprintDatabase
+    name: str = "cell_id"
+    _regions: dict[str, list[Point]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        regions: dict[str, list[Point]] = defaultdict(list)
+        for entry in self.database.entries:
+            if entry.rssi:
+                regions[_strongest(entry.rssi)].append(entry.position)
+        self._regions = dict(regions)
+        if not self._regions:
+            raise ValueError("survey contains no audible towers")
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Return the serving tower's region centroid, or None."""
+        scan = snapshot.cell_scan
+        if not scan:
+            return None
+        serving = _strongest(scan)
+        points = self._regions.get(serving)
+        if not points:
+            return None
+        center = centroid(points)
+        spread = max(
+            (p.distance_to(center) for p in points), default=10.0
+        )
+        return SchemeOutput(
+            position=center,
+            spread=max(spread, 10.0),
+            quality={"n_region_points": float(len(points))},
+        )

@@ -1,0 +1,248 @@
+"""RSSI fingerprinting schemes: RADAR on Wi-Fi and on cellular signals.
+
+Both schemes run the identical algorithm the paper's motivation section
+describes: Euclidean distance between the online RSSI vector and every
+offline fingerprint, with the closest fingerprint's position reported.
+The top-``k`` candidates (k = 3 in the paper's setting) are retained both
+to shape the scheme's grid posterior and to feed the error model's "RSSI
+distance deviation" feature.
+
+:class:`HorusScheme` is the probabilistic variant the paper discusses
+(Horus [2]): per-AP Gaussian likelihoods instead of vector distances.  It
+is included as an extension and exercised by tests, but — like in the
+paper — it is not one of the five aggregated schemes because it needs many
+samples per fingerprint.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.radio import FingerprintDatabase
+from repro.radio.fingerprint import MISSING_RSSI_DBM
+from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.sensors import SensorSnapshot
+
+#: Softmin temperature (dB) converting RSSI distances into candidate weights.
+CANDIDATE_TEMPERATURE_DB = 8.0
+
+#: The continuity window is abandoned when its best match is this much
+#: worse (in RSSI distance) than the unconstrained best match.
+CONTINUITY_ESCAPE_DB = 10.0
+
+
+class FingerprintScheme(LocalizationScheme):
+    """Shared RADAR-style matching over some RSSI source.
+
+    Matching applies a temporal-continuity window: a pedestrian cannot
+    teleport, so candidates are first sought among fingerprints within
+    ``continuity_radius_m`` of the previous estimate.  If the best match
+    inside the window is much worse (by :data:`CONTINUITY_ESCAPE_DB`) than
+    the unconstrained best, the window is abandoned — the tracker was
+    lost and re-acquires globally.  This is the standard practical
+    refinement of RADAR-style systems and keeps errors bounded by walking
+    speed rather than by place size.
+    """
+
+    def __init__(
+        self,
+        database: FingerprintDatabase,
+        k: int = 3,
+        continuity_radius_m: float | None = 30.0,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.database = database
+        self.k = k
+        self.continuity_radius_m = continuity_radius_m
+        self._last_position: Point | None = None
+
+    def reset(self) -> None:
+        """Forget the continuity anchor (start of a new walk)."""
+        self._last_position = None
+
+    def _scan(self, snapshot: SensorSnapshot) -> dict[str, float]:
+        """Extract this scheme's RSSI vector from the snapshot."""
+        raise NotImplementedError
+
+    def _candidate_entries(self, scan: dict[str, float]) -> list[tuple]:
+        """Rank fingerprints by RSSI distance under the continuity window."""
+        global_top = self.database.nearest(scan, k=self.k)
+        if self.continuity_radius_m is None or self._last_position is None:
+            return global_top
+        anchor = self._last_position
+        windowed = [
+            (entry, dist)
+            for entry, dist in (
+                (e, self.database.rssi_distance(scan, e.rssi))
+                for e in self.database.entries
+                if e.position.distance_to(anchor) <= self.continuity_radius_m
+            )
+        ]
+        windowed.sort(key=lambda pair: pair[1])
+        windowed = windowed[: self.k]
+        if not windowed:
+            return global_top
+        if windowed[0][1] > global_top[0][1] + CONTINUITY_ESCAPE_DB:
+            return global_top  # lost the track: re-acquire globally
+        return windowed
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Match the online scan against the offline database."""
+        scan = self._scan(snapshot)
+        if not scan:
+            return None
+        top = self._candidate_entries(scan)
+        best_entry, best_distance = top[0]
+        self._last_position = best_entry.position
+        finite = [(e, d) for e, d in top if math.isfinite(d)]
+        if not finite:
+            return None
+        weights = [
+            math.exp(-(d - best_distance) / CANDIDATE_TEMPERATURE_DB)
+            for _, d in finite
+        ]
+        candidates = [
+            (entry.position, weight) for (entry, _), weight in zip(finite, weights)
+        ]
+        spread = self._candidate_spread(best_entry.position, candidates)
+        distances = np.array([d for _, d in finite])
+        return SchemeOutput(
+            position=best_entry.position,
+            spread=spread,
+            candidates=candidates,
+            quality={
+                "best_rssi_distance": best_distance,
+                "candidate_deviation": float(np.std(distances))
+                if distances.size > 1
+                else 0.0,
+                "n_sources": float(len(scan)),
+            },
+        )
+
+    @staticmethod
+    def _candidate_spread(
+        best: Point, candidates: list[tuple[Point, float]]
+    ) -> float:
+        """Return the weighted RMS distance of candidates from the best one."""
+        total = sum(w for _, w in candidates)
+        if total <= 0.0:
+            return 3.0
+        acc = sum(w * best.distance_to(p) ** 2 for p, w in candidates)
+        return max(math.sqrt(acc / total), 1.5)
+
+
+class RadarScheme(FingerprintScheme):
+    """RADAR [1]: Wi-Fi RSSI fingerprinting."""
+
+    name = "wifi"
+
+    def _scan(self, snapshot: SensorSnapshot) -> dict[str, float]:
+        return snapshot.wifi_scan
+
+
+class CellularScheme(FingerprintScheme):
+    """Otsason et al. [22]: the same fingerprinting on GSM cell towers."""
+
+    name = "cellular"
+
+    def _scan(self, snapshot: SensorSnapshot) -> dict[str, float]:
+        return snapshot.cell_scan
+
+
+class HorusScheme(FingerprintScheme):
+    """Horus [2]: probabilistic per-AP Gaussian fingerprint matching.
+
+    Each offline fingerprint is treated as the mean of a Gaussian RSSI
+    distribution with a shared deviation ``sigma_db``; the location
+    posterior is the product of per-AP likelihoods.  Extension scheme —
+    not part of the aggregated five.
+    """
+
+    name = "horus"
+
+    def __init__(
+        self, database: FingerprintDatabase, k: int = 3, sigma_db: float = 4.0
+    ) -> None:
+        super().__init__(database, k)
+        if sigma_db <= 0.0:
+            raise ValueError("sigma_db must be positive")
+        self.sigma_db = sigma_db
+
+    def _scan(self, snapshot: SensorSnapshot) -> dict[str, float]:
+        return snapshot.wifi_scan
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        scan = self._scan(snapshot)
+        if not scan:
+            return None
+        log_likes = []
+        for entry in self.database.entries:
+            keys = set(scan) | set(entry.rssi)
+            ll = 0.0
+            for key in keys:
+                diff = scan.get(key, MISSING_RSSI_DBM) - entry.rssi.get(
+                    key, MISSING_RSSI_DBM
+                )
+                ll -= diff * diff / (2.0 * self.sigma_db * self.sigma_db)
+            log_likes.append(ll)
+        log_likes_arr = np.array(log_likes)
+        log_likes_arr -= log_likes_arr.max()
+        likes = np.exp(log_likes_arr)
+        order = np.argsort(likes)[::-1][: self.k]
+        candidates = [
+            (self.database.entries[i].position, float(likes[i])) for i in order
+        ]
+        best = candidates[0][0]
+        spread = self._candidate_spread(best, candidates)
+        return SchemeOutput(
+            position=best,
+            spread=spread,
+            candidates=candidates,
+            quality={"n_sources": float(len(scan))},
+        )
+
+
+class GaussianHorusScheme(LocalizationScheme):
+    """Horus [2] over a proper multi-sample Gaussian survey.
+
+    Unlike :class:`HorusScheme` (which approximates per-AP distributions
+    with a shared deviation over single-sample fingerprints), this
+    variant consumes a :class:`~repro.radio.gaussian_fingerprint.
+    GaussianFingerprintDatabase` with learned per-AP means and
+    deviations — the full Horus design the paper deems too expensive to
+    survey at campus scale.
+    """
+
+    name = "horus_gaussian"
+
+    def __init__(self, database, k: int = 3) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.database = database
+        self.k = k
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        scan = snapshot.wifi_scan
+        if not scan:
+            return None
+        top = self.database.most_likely(scan, k=self.k)
+        finite = [(e, ll) for e, ll in top if math.isfinite(ll)]
+        if not finite:
+            return None
+        best_entry, best_ll = finite[0]
+        weights = [math.exp(ll - best_ll) for _, ll in finite]
+        candidates = [
+            (entry.position, weight)
+            for (entry, _), weight in zip(finite, weights)
+        ]
+        spread = FingerprintScheme._candidate_spread(best_entry.position, candidates)
+        return SchemeOutput(
+            position=best_entry.position,
+            spread=spread,
+            candidates=candidates,
+            quality={"n_sources": float(len(scan)), "best_log_likelihood": best_ll},
+        )

@@ -1,0 +1,40 @@
+"""The GPS localization scheme.
+
+Reports the smartphone GPS fix converted from geodetic to map coordinates
+through the public map frame (§IV-B).  Unavailable whenever the chip has
+no reliable fix (fewer than four satellites or HDOP above the gate), which
+in practice means everywhere indoors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.sensors import SensorSnapshot
+from repro.sensors.gps import BASE_SIGMA_M, REFERENCE_HDOP
+from repro.world.geodesy import LocalTangentPlane
+
+
+@dataclass
+class GpsScheme(LocalizationScheme):
+    """Smartphone GPS as an individual localization scheme."""
+
+    frame: LocalTangentPlane
+    name: str = "gps"
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Return the current fix in map coordinates, or None without one."""
+        status = snapshot.gps
+        if not status.has_fix:
+            return None
+        position = self.frame.to_map(status.fix)
+        spread = BASE_SIGMA_M * max(status.hdop / REFERENCE_HDOP, 0.5)
+        return SchemeOutput(
+            position=position,
+            spread=spread,
+            quality={
+                "n_satellites": float(status.n_satellites),
+                "hdop": status.hdop,
+            },
+        )

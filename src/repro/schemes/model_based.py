@@ -1,0 +1,102 @@
+"""Model-based RSSI localization (EZ [4] style) — extension scheme.
+
+EZ inverts the log-distance path-loss model to turn each AP's RSSI into a
+range estimate and trilaterates.  The paper excludes model-based schemes
+from its final five because they need many audible APs and multiple users;
+we implement the single-snapshot variant as an extension so the framework
+can demonstrate integrating a *new* scheme (the "General" claim in §I).
+
+The solver linearizes the range equations pairwise: subtracting the circle
+equation of a reference AP from each other AP yields a linear system in
+``(x, y)`` solved by least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.radio import WIFI_MODEL, PropagationModel, Transmitter
+from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.sensors import SensorSnapshot
+
+#: Trilateration needs at least this many audible anchors.
+MIN_ANCHORS = 3
+
+#: RSSI-implied ranges beyond this are clipped: shadowing fades make the
+#: log-distance inversion explode for weak signals, and an AP audible at
+#: all cannot plausibly be further than this.
+MAX_RANGE_M = 80.0
+
+#: When the solved position disagrees with the measured ranges by more
+#: than this on average, the geometry is junk and the scheme declares
+#: itself unavailable rather than emitting a wild estimate.
+MAX_RESIDUAL_M = 30.0
+
+
+@dataclass
+class ModelBasedScheme(LocalizationScheme):
+    """Log-distance trilateration over Wi-Fi APs with known positions."""
+
+    access_points: list[Transmitter]
+    model: PropagationModel = WIFI_MODEL
+    name: str = "model_based"
+
+    def __post_init__(self) -> None:
+        self._positions = {
+            ap.identifier: ap.position for ap in self.access_points
+        }
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Trilaterate from the audible APs, or None with too few anchors."""
+        anchors: list[tuple[Point, float]] = []
+        for identifier, rssi in snapshot.wifi_scan.items():
+            position = self._positions.get(identifier)
+            if position is not None:
+                implied = min(self.model.distance_for_rssi(rssi), MAX_RANGE_M)
+                anchors.append((position, implied))
+        if len(anchors) < MIN_ANCHORS:
+            return None
+        solution = self._solve(anchors)
+        if solution is None:
+            return None
+        residual = self._mean_range_residual(solution, anchors)
+        if residual > MAX_RESIDUAL_M:
+            return None
+        return SchemeOutput(
+            position=solution,
+            spread=max(residual, 2.0),
+            quality={"n_anchors": float(len(anchors)), "range_residual": residual},
+        )
+
+    @staticmethod
+    def _solve(anchors: list[tuple[Point, float]]) -> Point | None:
+        """Solve the linearized trilateration system by least squares."""
+        (x0, y0), r0 = anchors[0][0].as_tuple(), anchors[0][1]
+        rows = []
+        rhs = []
+        for point, r in anchors[1:]:
+            x, y = point.as_tuple()
+            rows.append([2.0 * (x - x0), 2.0 * (y - y0)])
+            rhs.append(r0 * r0 - r * r + x * x - x0 * x0 + y * y - y0 * y0)
+        a = np.array(rows)
+        b = np.array(rhs)
+        try:
+            solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(solution)):
+            return None
+        return Point(float(solution[0]), float(solution[1]))
+
+    @staticmethod
+    def _mean_range_residual(
+        estimate: Point, anchors: list[tuple[Point, float]]
+    ) -> float:
+        """Return the mean |measured range - implied range| over anchors."""
+        residuals = [
+            abs(estimate.distance_to(point) - r) for point, r in anchors
+        ]
+        return float(np.mean(residuals))

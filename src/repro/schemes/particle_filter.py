@@ -1,0 +1,256 @@
+"""A vectorized particle filter for pedestrian dead reckoning.
+
+The paper's motion and fusion schemes maintain 300 particles updated every
+0.5 s step.  Each particle carries a position and a personal step-length
+scale (the paper's step-model personalization: "step length adaptively
+updated by particle filter", §III-B).  Map constraints kill particles that
+leave the walkable area; systematic resampling keeps the cloud healthy.
+
+Everything is numpy-vectorized: corridor containment for all particles is
+computed against all corridor segments at once, so 300 particles x ~500
+steps remain fast in pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.world import Place
+
+
+def _corridor_arrays(place: Place) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Precompute corridor segment arrays ``(starts, ends, half_widths)``."""
+    corridors = place.floorplan.corridors
+    if not corridors:
+        return None
+    starts = np.array([[c.centerline.start.x, c.centerline.start.y] for c in corridors])
+    ends = np.array([[c.centerline.end.x, c.centerline.end.y] for c in corridors])
+    half_widths = np.array([c.width / 2.0 for c in corridors])
+    return starts, ends, half_widths
+
+
+def _indoor_region_arrays(place: Place) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Precompute edge arrays of indoor regions for vectorized containment.
+
+    Returns one ``(vertices, edge_normals)`` pair per indoor region.  The
+    map constraint only applies *inside* indoor regions: outdoors (open
+    spaces) a pedestrian can walk anywhere, which is precisely why the
+    paper's motion scheme loses its map anchor there.  Regions produced by
+    the world builder are convex quadrilaterals; containment is tested by
+    requiring a consistent cross-product sign against every edge.
+    """
+    from repro.world import is_indoor  # local import to avoid a cycle
+
+    arrays = []
+    for region in place.regions:
+        if not is_indoor(region.env_type):
+            continue
+        verts = np.array([[v.x, v.y] for v in region.polygon.vertices])
+        edges = np.roll(verts, -1, axis=0) - verts
+        # Outward-ish normals; sign consistency handled at query time.
+        normals = np.column_stack([-edges[:, 1], edges[:, 0]])
+        arrays.append((verts, normals))
+    return arrays
+
+
+@dataclass
+class ParticleFilter:
+    """A particle cloud tracking one pedestrian.
+
+    Attributes:
+        place: the map that provides walkability constraints.
+        n_particles: cloud size (the paper uses 300).
+        heading_noise_std: per-particle heading perturbation per step.
+        position_noise_std: per-step process noise in meters.
+        scale_noise_std: random walk of the per-particle step-length scale.
+    """
+
+    place: Place
+    n_particles: int = 300
+    heading_noise_std: float = 0.08
+    position_noise_std: float = 0.15
+    scale_noise_std: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_particles <= 0:
+            raise ValueError("n_particles must be positive")
+        self._corridors = _corridor_arrays(self.place)
+        self._indoor_regions = _indoor_region_arrays(self.place)
+        walls = self.place.floorplan.walls
+        if walls:
+            self._wall_starts = np.array([[w.start.x, w.start.y] for w in walls])
+            self._wall_ends = np.array([[w.end.x, w.end.y] for w in walls])
+        else:
+            self._wall_starts = None
+            self._wall_ends = None
+        self.positions = np.zeros((self.n_particles, 2))
+        self.scales = np.ones(self.n_particles)
+        self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
+        self._rng = np.random.default_rng(0)
+
+    def initialize(
+        self, start: Point, spread: float, rng: np.random.Generator
+    ) -> None:
+        """Scatter the cloud around a known start position."""
+        self._rng = rng
+        self.positions = np.column_stack(
+            [
+                rng.normal(start.x, spread, self.n_particles),
+                rng.normal(start.y, spread, self.n_particles),
+            ]
+        )
+        self.scales = rng.normal(1.0, 0.05, self.n_particles)
+        self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
+
+    def walkable_mask(self, positions: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of positions allowed by the map.
+
+        A position is blocked only when it lies inside an *indoor* region
+        but outside every corridor — i.e. inside a wall or a room it
+        cannot reach.  Outdoor positions are always walkable, so in open
+        spaces the map imposes no constraint (and PDR drifts, as in the
+        paper).
+        """
+        n = len(positions)
+        if self._corridors is None or not self._indoor_regions:
+            return np.ones(n, dtype=bool)
+        in_corridor = self._in_corridor_mask(positions)
+        indoor = np.zeros(n, dtype=bool)
+        for verts, normals in self._indoor_regions:
+            diff = positions[:, None, :] - verts[None, :, :]  # (n, e, 2)
+            side = (diff * normals[None, :, :]).sum(axis=2)  # (n, e)
+            inside = (side >= -1e-9).all(axis=1) | (side <= 1e-9).all(axis=1)
+            indoor |= inside
+        return in_corridor | ~indoor
+
+    def _in_corridor_mask(self, positions: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of positions inside some corridor."""
+        if self._corridors is None:
+            return np.zeros(len(positions), dtype=bool)
+        starts, ends, half_widths = self._corridors
+        d = ends - starts  # (m, 2)
+        seg_len2 = np.maximum((d * d).sum(axis=1), 1e-12)  # (m,)
+        # t[i, j]: projection parameter of particle i on corridor j.
+        diff = positions[:, None, :] - starts[None, :, :]  # (n, m, 2)
+        t = np.clip((diff * d[None, :, :]).sum(axis=2) / seg_len2, 0.0, 1.0)
+        closest = starts[None, :, :] + t[:, :, None] * d[None, :, :]
+        dist = np.linalg.norm(positions[:, None, :] - closest, axis=2)  # (n, m)
+        return (dist <= half_widths[None, :]).any(axis=1)
+
+    def predict(self, step_length: float, heading: float) -> None:
+        """Advance every particle by one step.
+
+        Particles that would step off the walkable area keep their old
+        position but get their weight suppressed, which is how map edges
+        constrain the cloud without instantly emptying it.
+        """
+        headings = heading + self._rng.normal(
+            0.0, self.heading_noise_std, self.n_particles
+        )
+        lengths = step_length * self.scales
+        proposed = self.positions + np.column_stack(
+            [lengths * np.cos(headings), lengths * np.sin(headings)]
+        )
+        proposed += self._rng.normal(
+            0.0, self.position_noise_std, proposed.shape
+        )
+        mask = self.walkable_mask(proposed) & ~self._crosses_wall(
+            self.positions, proposed
+        )
+        self.positions = np.where(mask[:, None], proposed, self.positions)
+        self.weights = np.where(mask, self.weights, self.weights * 0.05)
+        self.scales += self._rng.normal(0.0, self.scale_noise_std, self.n_particles)
+        self.scales = np.clip(self.scales, 0.6, 1.4)
+        self._renormalize()
+
+    def _crosses_wall(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Return a mask of particle moves whose path crosses a wall.
+
+        Endpoint containment alone lets a long step leap a thin wall zone;
+        checking the movement segment against the wall list (standard
+        orientation predicates, vectorized particles x walls) makes the
+        map constraint robust to step length.
+        """
+        if self._wall_starts is None:
+            return np.zeros(len(old), dtype=bool)
+        r = new - old  # (n, 2)
+        s = self._wall_ends - self._wall_starts  # (m, 2)
+        qp = self._wall_starts[None, :, :] - old[:, None, :]  # (n, m, 2)
+        r_cross_s = r[:, None, 0] * s[None, :, 1] - r[:, None, 1] * s[None, :, 0]
+        qp_cross_r = qp[:, :, 0] * r[:, None, 1] - qp[:, :, 1] * r[:, None, 0]
+        qp_cross_s = qp[:, :, 0] * s[None, :, 1] - qp[:, :, 1] * s[None, :, 0]
+        nonparallel = np.abs(r_cross_s) > 1e-12
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(nonparallel, qp_cross_s / r_cross_s, np.nan)
+            u = np.where(nonparallel, qp_cross_r / r_cross_s, np.nan)
+        hits = nonparallel & (t >= 0.0) & (t <= 1.0) & (u >= 0.0) & (u <= 1.0)
+        return hits.any(axis=1)
+
+    def reweight(self, factors: np.ndarray) -> None:
+        """Multiply particle weights by external likelihood factors.
+
+        Raises:
+            ValueError: if ``factors`` has the wrong length.
+        """
+        factors = np.asarray(factors, dtype=float)
+        if factors.shape != (self.n_particles,):
+            raise ValueError("factors must have one entry per particle")
+        self.weights *= np.maximum(factors, 0.0)
+        self._renormalize()
+
+    def recenter(self, anchor: Point, spread: float) -> None:
+        """Pull the cloud to a calibration anchor (landmark detection).
+
+        The paper's PDR resets accumulated error at detected landmarks;
+        we re-scatter the cloud around the landmark while keeping each
+        particle's learned step scale (personalization survives resets).
+        """
+        self.positions = np.column_stack(
+            [
+                self._rng.normal(anchor.x, spread, self.n_particles),
+                self._rng.normal(anchor.y, spread, self.n_particles),
+            ]
+        )
+        self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
+
+    def effective_sample_size(self) -> float:
+        """Return the ESS of the current weights."""
+        return float(1.0 / np.sum(self.weights**2))
+
+    def resample_if_needed(self, threshold_frac: float = 0.5) -> bool:
+        """Systematic resampling when ESS drops below a fraction of N.
+
+        Returns:
+            True if resampling happened.
+        """
+        if self.effective_sample_size() >= threshold_frac * self.n_particles:
+            return False
+        cumulative = np.cumsum(self.weights)
+        cumulative[-1] = 1.0
+        offsets = (
+            self._rng.random() + np.arange(self.n_particles)
+        ) / self.n_particles
+        indices = np.searchsorted(cumulative, offsets)
+        self.positions = self.positions[indices]
+        self.scales = self.scales[indices]
+        self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
+        return True
+
+    def estimate(self) -> tuple[Point, float]:
+        """Return the weighted-mean position and the cloud's spread."""
+        mean = (self.positions * self.weights[:, None]).sum(axis=0)
+        centered = self.positions - mean
+        var = (self.weights[:, None] * centered**2).sum(axis=0).sum()
+        return Point(float(mean[0]), float(mean[1])), float(math.sqrt(max(var, 0.0)))
+
+    def _renormalize(self) -> None:
+        """Normalize weights; recover from total degeneracy by resetting."""
+        total = self.weights.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
+        else:
+            self.weights /= total

@@ -1,0 +1,29 @@
+"""Smartphone sensing substrate: devices, IMU, GPS, snapshots, the phone."""
+
+from repro.sensors.device import (
+    GALAXY_S2,
+    LG_G3,
+    NEXUS_5X,
+    DeviceProfile,
+    OffsetCalibrator,
+)
+from repro.sensors.gps import HDOP_GATE, GpsReceiver, GpsStatus
+from repro.sensors.imu import ImuReading, ImuSimulator, StepEvent
+from repro.sensors.phone import Smartphone
+from repro.sensors.snapshot import SensorSnapshot
+
+__all__ = [
+    "GALAXY_S2",
+    "HDOP_GATE",
+    "LG_G3",
+    "NEXUS_5X",
+    "DeviceProfile",
+    "GpsReceiver",
+    "GpsStatus",
+    "ImuReading",
+    "ImuSimulator",
+    "OffsetCalibrator",
+    "SensorSnapshot",
+    "Smartphone",
+    "StepEvent",
+]

@@ -1,0 +1,121 @@
+"""Smartphone device profiles and hardware heterogeneity.
+
+Two phones measure different RSSI values for the same signal; the paper
+(§III-B) models the relationship as affine, ``RSSI_A = alpha * RSSI_B +
+delta`` with alpha close to 1, and removes it with an online-learned
+offset.  A :class:`DeviceProfile` carries that affine pair (relative to
+the reference device) plus IMU noise scalars, so experiments can swap the
+Nexus 5X used for fingerprinting with an LG G3 used online (Fig. 8d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One smartphone model's measurement characteristics.
+
+    Attributes:
+        name: marketing name.
+        rssi_alpha: multiplicative RSSI response vs. the reference device.
+        rssi_delta: additive RSSI offset (dB) vs. the reference device.
+        heading_noise_std: per-reading compass/gyro heading noise (radians).
+        step_length_noise_frac: fractional noise on inferred step length.
+    """
+
+    name: str
+    rssi_alpha: float
+    rssi_delta: float
+    heading_noise_std: float
+    step_length_noise_frac: float
+
+    def measure_rssi(self, true_rssi: float) -> float:
+        """Return this device's reading of a reference-device RSSI."""
+        return self.rssi_alpha * true_rssi + self.rssi_delta
+
+    def apply_to_scan(self, scan: dict[str, float]) -> dict[str, float]:
+        """Apply the device response to a whole RSSI scan."""
+        return {key: self.measure_rssi(value) for key, value in scan.items()}
+
+
+#: The reference device — fingerprints and error models are collected
+#: with it, so its response is the identity.
+NEXUS_5X = DeviceProfile(
+    name="Google Nexus 5X",
+    rssi_alpha=1.0,
+    rssi_delta=0.0,
+    heading_noise_std=0.05,
+    step_length_noise_frac=0.04,
+)
+
+#: A second device with a different Wi-Fi chipset (Broadcom BCM4339).
+LG_G3 = DeviceProfile(
+    name="LG G3",
+    rssi_alpha=0.96,
+    rssi_delta=-4.5,
+    heading_noise_std=0.06,
+    step_length_noise_frac=0.05,
+)
+
+#: Used only by the paper's power-measurement experiments.
+GALAXY_S2 = DeviceProfile(
+    name="Samsung Galaxy S2 i9100",
+    rssi_alpha=0.93,
+    rssi_delta=-6.0,
+    heading_noise_std=0.08,
+    step_length_noise_frac=0.06,
+)
+
+
+@dataclass
+class OffsetCalibrator:
+    """Online affine RSSI offset calibration between two devices.
+
+    Accumulates paired readings ``(other_device, reference_device)`` and
+    fits ``ref = alpha * other + delta`` by least squares.  Until at least
+    :attr:`min_pairs` pairs are seen, :meth:`correct` passes readings
+    through unchanged.
+    """
+
+    min_pairs: int = 10
+    _sum_x: float = 0.0
+    _sum_y: float = 0.0
+    _sum_xx: float = 0.0
+    _sum_xy: float = 0.0
+    _count: int = 0
+
+    def observe(self, other_reading: float, reference_reading: float) -> None:
+        """Record one paired reading of the same signal on both devices."""
+        self._sum_x += other_reading
+        self._sum_y += reference_reading
+        self._sum_xx += other_reading * other_reading
+        self._sum_xy += other_reading * reference_reading
+        self._count += 1
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Return True once enough pairs have been observed to fit."""
+        return self._count >= self.min_pairs
+
+    def coefficients(self) -> tuple[float, float]:
+        """Return the fitted ``(alpha, delta)``.
+
+        Returns the identity ``(1.0, 0.0)`` before calibration or when the
+        observed readings are degenerate (zero variance).
+        """
+        if not self.is_calibrated:
+            return (1.0, 0.0)
+        n = float(self._count)
+        denom = n * self._sum_xx - self._sum_x * self._sum_x
+        if abs(denom) < 1e-12:
+            return (1.0, 0.0)
+        alpha = (n * self._sum_xy - self._sum_x * self._sum_y) / denom
+        delta = (self._sum_y - alpha * self._sum_x) / n
+        return (alpha, delta)
+
+    def correct(self, scan: dict[str, float]) -> dict[str, float]:
+        """Map a scan from the other device into reference-device units."""
+        alpha, delta = self.coefficients()
+        return {key: alpha * value + delta for key, value in scan.items()}

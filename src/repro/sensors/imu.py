@@ -1,0 +1,146 @@
+"""Inertial sensing: step events, headings, and their error processes.
+
+The IMU simulator converts ground-truth walking moments into what the
+phone's accelerometer / gyroscope / magnetometer pipeline would infer:
+
+* **step events** with measured periods and lengths — trembling hands
+  occasionally produce spurious short steps or merge two steps into one
+  long period, which is what the paper's 0.4-0.7 s compensation rule
+  (§III-B) repairs downstream in the PDR scheme;
+* **headings** corrupted by a gyro-bias random walk that the magnetometer
+  partially corrects — weakly in magnetically noisy indoor environments,
+  strongly outdoors.
+
+Per the paper, 50 Hz orientation readings are averaged over 3 s windows,
+so the *random* part of heading noise is small; the accumulating bias is
+what drives PDR error growth between landmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.motion import GaitProfile, Moment
+from repro.sensors.device import DeviceProfile
+
+#: Gyro bias random-walk increment per step (radians).
+GYRO_DRIFT_STEP_STD = 0.006
+
+#: Std-dev of the per-session step-length calibration bias.  The phone's
+#: step model over- or under-estimates a given person's stride by a few
+#: percent, so dead-reckoned distance drifts linearly with distance walked
+#: — the dominant term behind the paper's "distance from the last
+#: landmark" influence factor.
+STEP_LENGTH_BIAS_STD = 0.07
+
+#: Strength of the magnetometer's pull of the bias back toward zero in a
+#: magnetically clean environment.
+MAG_CORRECTION_BASE = 0.30
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One inferred step: its measured period and estimated length."""
+
+    period_s: float
+    length_m: float
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    """The inertial pipeline's output for one walking moment."""
+
+    step_events: tuple[StepEvent, ...]
+    heading: float
+    heading_bias: float  # exposed for analysis/tests only; schemes must not read it
+    orientation_change_rate: float
+    magnetic_sigma_ut: float
+
+
+@dataclass
+class ImuSimulator:
+    """Stateful inertial pipeline for one phone carried by one walker."""
+
+    device: DeviceProfile
+    gait: GaitProfile
+    rng: np.random.Generator
+    _bias: float = 0.0
+    _last_heading: float | None = None
+    _length_bias: float | None = None
+
+    def _session_length_bias(self) -> float:
+        """Lazily draw this session's step-length calibration bias."""
+        if self._length_bias is None:
+            self._length_bias = float(self.rng.normal(0.0, STEP_LENGTH_BIAS_STD))
+        return self._length_bias
+
+    def sense(self, moment: Moment, magnetic_sigma_ut: float) -> ImuReading:
+        """Produce the IMU reading for one ground-truth moment.
+
+        Args:
+            moment: ground truth for this step.
+            magnetic_sigma_ut: magnetic disturbance of the current
+                environment, which throttles magnetometer drift correction
+                and is itself reported (IODetector uses it).
+        """
+        events = self._infer_steps(moment)
+        heading = self._infer_heading(moment, magnetic_sigma_ut)
+        if self._last_heading is None:
+            change_rate = 0.0
+        else:
+            dt = max(moment.step_period, 1e-3)
+            change_rate = abs(heading - self._last_heading) / dt
+        self._last_heading = heading
+        measured_sigma = max(
+            0.0, magnetic_sigma_ut + float(self.rng.normal(0.0, 0.5))
+        )
+        return ImuReading(
+            step_events=events,
+            heading=heading,
+            heading_bias=self._bias,
+            orientation_change_rate=change_rate,
+            magnetic_sigma_ut=measured_sigma,
+        )
+
+    def _infer_steps(self, moment: Moment) -> tuple[StepEvent, ...]:
+        """Infer step events, with trembling-induced jitter."""
+        if moment.step_length == 0.0:
+            return ()
+        length_noise = self.device.step_length_noise_frac
+        measured_length = moment.step_length * (
+            1.0 + self._session_length_bias()
+        ) * float(self.rng.normal(1.0, length_noise))
+        measured_period = moment.step_period + float(self.rng.normal(0.0, 0.02))
+        real = StepEvent(max(0.2, measured_period), max(0.1, measured_length))
+
+        trembling = self.gait.trembling
+        roll = self.rng.random()
+        if roll < trembling * 0.12:
+            # Spurious extra step: a short jitter spike in the trace.
+            fake = StepEvent(
+                period_s=float(self.rng.uniform(0.15, 0.38)),
+                length_m=self.gait.step_length_m,
+            )
+            return (real, fake)
+        if roll < trembling * 0.12 + trembling * 0.08:
+            # Missed step: two strides merge into one long period.
+            merged = StepEvent(
+                period_s=real.period_s * 2.0, length_m=real.length_m
+            )
+            return (merged,)
+        return (real,)
+
+    def _infer_heading(self, moment: Moment, magnetic_sigma_ut: float) -> float:
+        """Advance the gyro bias and return the measured heading."""
+        self._bias += float(self.rng.normal(0.0, GYRO_DRIFT_STEP_STD))
+        correction = MAG_CORRECTION_BASE / (1.0 + magnetic_sigma_ut / 3.0)
+        self._bias *= 1.0 - correction
+        noise_std = self.device.heading_noise_std * (1.0 + self.gait.trembling)
+        noise = float(self.rng.normal(0.0, noise_std))
+        return moment.heading + self._bias + noise
+
+    def reset_bias(self) -> None:
+        """Zero the gyro bias (e.g. after an explicit recalibration)."""
+        self._bias = 0.0

@@ -1,0 +1,44 @@
+"""Simulated physical world: environments, floor plans, places, worlds."""
+
+from repro.world.builder import BuiltPath, Leg, PlaceBuilder, build_path
+from repro.world.campus import (
+    build_campus_place,
+    build_daily_path_place,
+    build_mall_place,
+    build_office_place,
+    build_open_space_place,
+    build_second_office_place,
+    build_urban_open_space_place,
+)
+from repro.world.environment import EnvironmentProfile, EnvironmentType, is_indoor, profile_of
+from repro.world.floorplan import Corridor, FloorPlan, Landmark, LandmarkKind
+from repro.world.geodesy import NTU_FRAME, GeoPoint, LocalTangentPlane
+from repro.world.place import EnvironmentRegion, Path, Place
+
+__all__ = [
+    "NTU_FRAME",
+    "BuiltPath",
+    "Corridor",
+    "EnvironmentProfile",
+    "EnvironmentRegion",
+    "EnvironmentType",
+    "FloorPlan",
+    "GeoPoint",
+    "Landmark",
+    "LandmarkKind",
+    "Leg",
+    "LocalTangentPlane",
+    "Path",
+    "Place",
+    "PlaceBuilder",
+    "build_campus_place",
+    "build_daily_path_place",
+    "build_mall_place",
+    "build_office_place",
+    "build_open_space_place",
+    "build_path",
+    "build_second_office_place",
+    "build_urban_open_space_place",
+    "is_indoor",
+    "profile_of",
+]

@@ -1,0 +1,223 @@
+"""Procedural construction of places from leg-by-leg path descriptions.
+
+All built-in worlds (the campus daily paths, the office, the mall, the
+open space) are described as sequences of straight walking legs, each with
+a length, a turn angle, and an environment label.  :class:`PathBuilder`
+turns such a description into consistent geometry:
+
+* the ground-truth :class:`~repro.geometry.Polyline` of the path,
+* buffered environment region polygons around each leg,
+* corridor geometry (PDR map constraints) for indoor legs,
+* parallel wall segments along indoor corridors (radio obstructions),
+* calibration landmarks at turns, doors, and periodic indoor signatures.
+
+This mirrors how the paper's maps enter its system: the PDR scheme sees
+path edges and walls, the error models see corridor widths, and the radio
+schemes see walls as attenuators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Polygon, Polyline, Segment
+from repro.world.environment import EnvironmentType, is_indoor, profile_of
+from repro.world.floorplan import Corridor, FloorPlan, Landmark, LandmarkKind
+from repro.world.place import EnvironmentRegion, Path, Place
+
+#: Indoor signature landmarks (Wi-Fi / magnetic anomalies per UnLoc [12])
+#: occur roughly this often along indoor corridors.
+SIGNATURE_SPACING_M = 25.0
+
+#: Signatures need rich ambient infrastructure (Wi-Fi, distinctive
+#: magnetic clutter); basements and car parks offer too few, so PDR error
+#: accumulates there — matching the paper's Fig. 2 basement observation.
+SIGNATURE_ENVS = frozenset(
+    {EnvironmentType.OFFICE, EnvironmentType.CORRIDOR, EnvironmentType.MALL}
+)
+
+#: Turns sharper than this (radians) produce a TURN landmark indoors.
+TURN_LANDMARK_MIN_ANGLE = math.radians(30.0)
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One straight stretch of a walking path.
+
+    Attributes:
+        length: leg length in meters.
+        turn: heading change in radians applied *before* walking the leg
+            (positive = counter-clockwise).
+        env: environment the leg passes through.
+        width: optional corridor width override; defaults to the
+            environment profile's corridor width.
+    """
+
+    length: float
+    turn: float
+    env: EnvironmentType
+    width: float | None = None
+
+    def corridor_width(self) -> float:
+        """Return the effective corridor width for this leg."""
+        if self.width is not None:
+            return self.width
+        return profile_of(self.env).default_corridor_width_m
+
+
+@dataclass
+class BuiltPath:
+    """The geometry produced for one leg sequence."""
+
+    polyline: Polyline
+    regions: list[EnvironmentRegion]
+    corridors: list[Corridor]
+    walls: list[Segment]
+    landmarks: list[Landmark]
+
+
+def _leg_region(start: Point, end: Point, half_width: float) -> Polygon:
+    """Return a rectangle buffered ``half_width`` around the leg segment."""
+    direction = (end - start).normalized()
+    normal = direction.rotated(math.pi / 2.0)
+    # Extend slightly along the leg so consecutive regions overlap and no
+    # path point falls in a gap between regions.
+    lon = direction * (half_width * 0.5)
+    lat = normal * half_width
+    return Polygon(
+        (
+            start - lon + lat,
+            start - lon - lat,
+            end + lon - lat,
+            end + lon + lat,
+        )
+    )
+
+
+def build_path(
+    name: str,
+    start: Point,
+    initial_heading: float,
+    legs: list[Leg],
+) -> BuiltPath:
+    """Construct path geometry from a leg sequence.
+
+    Args:
+        name: path name (used only for landmark bookkeeping clarity).
+        start: starting point of the walk.
+        initial_heading: heading (radians, east = 0) before the first leg's
+            turn is applied.
+        legs: the leg sequence.
+
+    Raises:
+        ValueError: if ``legs`` is empty or a leg has non-positive length.
+    """
+    if not legs:
+        raise ValueError(f"path {name!r} needs at least one leg")
+    vertices = [start]
+    heading = initial_heading
+    regions: list[EnvironmentRegion] = []
+    corridors: list[Corridor] = []
+    walls: list[Segment] = []
+    landmarks: list[Landmark] = []
+    prev_env: EnvironmentType | None = None
+    since_signature = 0.0
+
+    for leg in legs:
+        if leg.length <= 0.0:
+            raise ValueError(f"path {name!r} has a non-positive leg length")
+        heading += leg.turn
+        a = vertices[-1]
+        b = a + Point(math.cos(heading), math.sin(heading)) * leg.length
+        vertices.append(b)
+        half_width = max(leg.corridor_width() / 2.0, 1.5)
+        regions.append(EnvironmentRegion(_leg_region(a, b, half_width + 1.0), leg.env))
+
+        indoor = is_indoor(leg.env)
+        if indoor and leg.env is not EnvironmentType.OPEN_SPACE:
+            corridors.append(Corridor(Segment(a, b), leg.corridor_width()))
+            normal = (b - a).normalized().rotated(math.pi / 2.0)
+            offset = normal * (leg.corridor_width() / 2.0)
+            walls.append(Segment(a + offset, b + offset))
+            walls.append(Segment(a - offset, b - offset))
+
+        # Landmarks: turns indoors, doors at environment transitions, and
+        # periodic signatures along indoor stretches.
+        if indoor and abs(leg.turn) >= TURN_LANDMARK_MIN_ANGLE and len(vertices) > 2:
+            landmarks.append(Landmark(a, LandmarkKind.TURN))
+        if prev_env is not None and leg.env != prev_env:
+            if indoor or is_indoor(prev_env):
+                landmarks.append(Landmark(a, LandmarkKind.DOOR))
+        if indoor and leg.env in SIGNATURE_ENVS:
+            walked = 0.0
+            while walked + SIGNATURE_SPACING_M - since_signature <= leg.length:
+                walked += SIGNATURE_SPACING_M - since_signature
+                since_signature = 0.0
+                pos = a + Point(math.cos(heading), math.sin(heading)) * walked
+                landmarks.append(Landmark(pos, LandmarkKind.SIGNATURE))
+            since_signature += leg.length - walked
+        else:
+            since_signature = 0.0
+        prev_env = leg.env
+
+    return BuiltPath(
+        polyline=Polyline(tuple(vertices)),
+        regions=regions,
+        corridors=corridors,
+        walls=walls,
+        landmarks=landmarks,
+    )
+
+
+@dataclass
+class PlaceBuilder:
+    """Accumulates built paths into a single :class:`Place`."""
+
+    name: str
+    default_env: EnvironmentType
+    margin: float = 25.0
+    _paths: dict[str, BuiltPath] = field(default_factory=dict)
+
+    def add(self, path_name: str, built: BuiltPath) -> "PlaceBuilder":
+        """Register a built path under ``path_name`` and return self."""
+        if path_name in self._paths:
+            raise ValueError(f"path {path_name!r} already added")
+        self._paths[path_name] = built
+        return self
+
+    def build(self) -> Place:
+        """Assemble the place: union geometry, shared floor plan, paths.
+
+        Raises:
+            ValueError: if no paths were added.
+        """
+        if not self._paths:
+            raise ValueError("cannot build a place with no paths")
+        all_vertices = [
+            v for built in self._paths.values() for v in built.polyline.vertices
+        ]
+        xs = [p.x for p in all_vertices]
+        ys = [p.y for p in all_vertices]
+        boundary = Polygon.rectangle(
+            min(xs) - self.margin,
+            min(ys) - self.margin,
+            max(xs) + self.margin,
+            max(ys) + self.margin,
+        )
+        regions = [r for built in self._paths.values() for r in built.regions]
+        floorplan = FloorPlan(
+            corridors=[c for b in self._paths.values() for c in b.corridors],
+            walls=[w for b in self._paths.values() for w in b.walls],
+            landmarks=[lm for b in self._paths.values() for lm in b.landmarks],
+        )
+        place = Place(
+            name=self.name,
+            boundary=boundary,
+            regions=regions,
+            default_env=self.default_env,
+            floorplan=floorplan,
+        )
+        for path_name, built in self._paths.items():
+            place.add_path(Path(path_name, built.polyline))
+        return place

@@ -1,0 +1,243 @@
+"""The built-in worlds used by the paper's experiments.
+
+Four places are modeled after the evaluation environments (§V):
+
+* :func:`build_daily_path_place` — the 320 m daily path of Fig. 2 / Fig. 3,
+  crossing office, semi-open corridor, basement, car park, and open space.
+* :func:`build_campus_place` — all eight daily paths of Fig. 4 (~2.78 km,
+  about 0.9 km outdoors), fanning out from a common start.
+* :func:`build_office_place` — the 56 x 20 m2 office where the indoor error
+  models are trained (Table II).
+* :func:`build_open_space_place` — the outdoor open space used for outdoor
+  error-model training.
+* :func:`build_mall_place` — one floor (95 x 27 m2) of a shopping mall at
+  basement level (weak cellular), a *new place* for Fig. 8a.
+* :func:`build_urban_open_space_place` — the urban open space of Fig. 8b,
+  another new place.
+
+The exact coordinates are synthetic; what matters (and what the benches
+assert) is the environment sequence, segment lengths, and the relative
+sensor conditions each environment imposes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point
+from repro.world.builder import Leg, PlaceBuilder, build_path
+from repro.world.environment import EnvironmentType as Env
+from repro.world.place import Place
+
+_D90 = math.radians(90.0)
+_D45 = math.radians(45.0)
+
+
+def _zigzag(
+    total: float,
+    env: Env,
+    piece: float,
+    angle: float,
+    width: float | None = None,
+    lead_turn: float = 0.0,
+) -> list[Leg]:
+    """Split ``total`` meters into alternating-turn legs through ``env``.
+
+    The first leg turns by ``lead_turn`` (to join the previous chunk) and
+    subsequent legs alternate +/-``angle``, producing a staircase (90 deg)
+    or gentle zigzag (small angles) that never folds back on itself.
+    """
+    legs: list[Leg] = []
+    remaining = total
+    sign = 1.0
+    turn = lead_turn
+    while remaining > 1e-9:
+        length = min(piece, remaining)
+        legs.append(Leg(length, turn, env, width))
+        turn = sign * angle
+        sign = -sign
+        remaining -= length
+    return legs
+
+
+def _daily_path_legs() -> list[Leg]:
+    """Return the leg sequence of the Fig. 2 daily path (320 m).
+
+    Segment arc lengths match the paper's annotations: office to ~50 m,
+    corridor to ~110 m, basement to ~170 m, car park to ~225 m, and open
+    space to 320 m.
+    """
+    legs: list[Leg] = []
+    # Office, 50 m with several turns (rich in TURN landmarks).
+    legs += [
+        Leg(15.0, 0.0, Env.OFFICE),
+        Leg(6.0, _D90, Env.OFFICE),
+        Leg(15.0, -_D90, Env.OFFICE),
+        Leg(6.0, -_D90, Env.OFFICE),
+        Leg(8.0, _D90, Env.OFFICE),
+    ]
+    # Semi-open corridor, 60 m.
+    legs += [
+        Leg(10.0, _D90, Env.CORRIDOR),
+        Leg(50.0, -_D90, Env.CORRIDOR),
+    ]
+    # Basement passageway, 60 m (no Wi-Fi / GPS, weak cellular, and no
+    # sharp turns, so PDR error accumulates until the car-park door).
+    legs += [
+        Leg(30.0, 0.0, Env.BASEMENT),
+        Leg(30.0, math.radians(-20.0), Env.BASEMENT),
+    ]
+    # Car park, 55 m, wide and loosely constrained.
+    legs += [Leg(55.0, 0.0, Env.CAR_PARK)]
+    # Open space, 95 m, long straight outdoor stretch (no landmarks).
+    legs += [
+        Leg(60.0, math.radians(20.0), Env.OPEN_SPACE),
+        Leg(35.0, math.radians(-20.0), Env.OPEN_SPACE),
+    ]
+    return legs
+
+
+def build_daily_path_place() -> Place:
+    """Build the place containing only the Fig. 2 daily path ("path1")."""
+    built = build_path("path1", Point(0.0, 0.0), 0.0, _daily_path_legs())
+    return PlaceBuilder("campus-daily", Env.OPEN_SPACE).add("path1", built).build()
+
+
+def _eight_path_recipes() -> dict[str, tuple[float, list[Leg]]]:
+    """Return heading and legs for the eight daily paths of Fig. 4."""
+    recipes: dict[str, tuple[float, list[Leg]]] = {}
+    recipes["path1"] = (0.0, _daily_path_legs())
+    recipes["path2"] = (
+        _D45,
+        _zigzag(40.0, Env.OFFICE, 12.0, _D90)
+        + _zigzag(80.0, Env.CORRIDOR, 40.0, _D45, lead_turn=_D45)
+        + _zigzag(70.0, Env.OPEN_SPACE, 40.0, math.radians(15.0))
+        + _zigzag(60.0, Env.STREET, 60.0, 0.0)
+        + _zigzag(40.0, Env.OFFICE, 12.0, _D90),
+    )
+    recipes["path3"] = (
+        2 * _D45,
+        _zigzag(50.0, Env.OFFICE, 13.0, _D90)
+        + _zigzag(120.0, Env.CORRIDOR, 45.0, _D45, lead_turn=-_D45)
+        + _zigzag(60.0, Env.CAR_PARK, 60.0, 0.0)
+        + _zigzag(100.0, Env.OPEN_SPACE, 55.0, math.radians(20.0))
+        + _zigzag(62.0, Env.CORRIDOR, 32.0, _D45),
+    )
+    recipes["path4"] = (
+        3 * _D45,
+        _zigzag(60.0, Env.OFFICE, 14.0, _D90)
+        + _zigzag(130.0, Env.CORRIDOR, 50.0, _D45, lead_turn=_D45)
+        + _zigzag(50.0, Env.BASEMENT, 28.0, math.radians(20.0))
+        + _zigzag(80.0, Env.OPEN_SPACE, 45.0, math.radians(15.0))
+        + _zigzag(56.0, Env.CORRIDOR, 30.0, -_D45),
+    )
+    recipes["path5"] = (
+        4 * _D45,
+        _zigzag(45.0, Env.OFFICE, 12.0, _D90)
+        + _zigzag(150.0, Env.CORRIDOR, 52.0, _D45, lead_turn=-_D45)
+        + _zigzag(120.0, Env.OPEN_SPACE, 65.0, math.radians(18.0))
+        + _zigzag(100.0, Env.STREET, 55.0, math.radians(12.0)),
+    )
+    recipes["path6"] = (
+        5 * _D45,
+        _zigzag(50.0, Env.OFFICE, 13.0, _D90)
+        + _zigzag(80.0, Env.BASEMENT, 30.0, math.radians(20.0), lead_turn=_D45)
+        + _zigzag(120.0, Env.CORRIDOR, 42.0, _D45)
+        + _zigzag(93.0, Env.OPEN_SPACE, 50.0, math.radians(16.0)),
+    )
+    recipes["path7"] = (
+        6 * _D45,
+        _zigzag(55.0, Env.OFFICE, 14.0, _D90)
+        + _zigzag(140.0, Env.CORRIDOR, 48.0, _D45, lead_turn=-_D45)
+        + _zigzag(70.0, Env.CAR_PARK, 70.0, 0.0)
+        + _zigzag(107.0, Env.OPEN_SPACE, 60.0, math.radians(14.0)),
+    )
+    recipes["path8"] = (
+        7 * _D45,
+        _zigzag(45.0, Env.OFFICE, 12.0, _D90)
+        + _zigzag(145.0, Env.CORRIDOR, 50.0, _D45, lead_turn=_D45)
+        + _zigzag(100.0, Env.OPEN_SPACE, 55.0, math.radians(18.0)),
+    )
+    return recipes
+
+
+def build_campus_place() -> Place:
+    """Build the eight-path campus of Fig. 4 (~2.8 km of daily paths)."""
+    builder = PlaceBuilder("campus", Env.OPEN_SPACE, margin=35.0)
+    for name, (heading, legs) in _eight_path_recipes().items():
+        builder.add(name, build_path(name, Point(0.0, 0.0), heading, legs))
+    return builder.build()
+
+
+def build_office_place() -> Place:
+    """Build the 56 x 20 m2 office used for indoor error-model training.
+
+    The training path snakes through three parallel 48 m corridors, giving
+    dense coverage of the room (300 training locations fit comfortably).
+    """
+    legs = (
+        _zigzag(48.0, Env.OFFICE, 16.0, 0.0)
+        + [Leg(6.0, _D90, Env.OFFICE)]
+        + _zigzag(48.0, Env.OFFICE, 16.0, 0.0, lead_turn=_D90)
+        + [Leg(6.0, -_D90, Env.OFFICE)]
+        + _zigzag(48.0, Env.OFFICE, 16.0, 0.0, lead_turn=-_D90)
+    )
+    built = build_path("survey", Point(2.0, 2.0), 0.0, legs)
+    return PlaceBuilder("office", Env.OFFICE, margin=8.0).add("survey", built).build()
+
+
+def build_open_space_place() -> Place:
+    """Build the campus open space used for outdoor error-model training."""
+    legs = _zigzag(150.0, Env.OPEN_SPACE, 50.0, math.radians(20.0))
+    built = build_path("survey", Point(0.0, 0.0), math.radians(10.0), legs)
+    return (
+        PlaceBuilder("open-space", Env.OPEN_SPACE, margin=30.0)
+        .add("survey", built)
+        .build()
+    )
+
+
+def build_mall_place() -> Place:
+    """Build one basement floor (95 x 27 m2) of a shopping mall (Fig. 8a).
+
+    The whole floor is MALL environment: indoors, crowded (higher Wi-Fi
+    interference), and at basement level so only ~2 cell towers are
+    audible, matching the paper's observation.
+    """
+    legs = (
+        _zigzag(85.0, Env.MALL, 28.0, 0.0)
+        + [Leg(9.0, _D90, Env.MALL)]
+        + _zigzag(85.0, Env.MALL, 28.0, 0.0, lead_turn=_D90)
+        + [Leg(9.0, -_D90, Env.MALL)]
+        + _zigzag(85.0, Env.MALL, 28.0, 0.0, lead_turn=-_D90)
+    )
+    built = build_path("survey", Point(3.0, 3.0), 0.0, legs)
+    return PlaceBuilder("mall", Env.MALL, margin=8.0).add("survey", built).build()
+
+
+def build_urban_open_space_place() -> Place:
+    """Build the urban open space of Fig. 8b (a new, untrained place)."""
+    legs = (
+        _zigzag(120.0, Env.OPEN_SPACE, 60.0, math.radians(15.0))
+        + _zigzag(80.0, Env.STREET, 40.0, math.radians(20.0))
+        + _zigzag(100.0, Env.OPEN_SPACE, 50.0, math.radians(12.0))
+    )
+    built = build_path("survey", Point(0.0, 0.0), math.radians(-15.0), legs)
+    return (
+        PlaceBuilder("urban-open-space", Env.OPEN_SPACE, margin=30.0)
+        .add("survey", built)
+        .build()
+    )
+
+
+def build_second_office_place() -> Place:
+    """Build "another office" (Table III's new indoor validation place)."""
+    legs = (
+        _zigzag(40.0, Env.OFFICE, 13.0, 0.0)
+        + [Leg(5.0, -_D90, Env.OFFICE)]
+        + _zigzag(40.0, Env.OFFICE, 13.0, 0.0, lead_turn=-_D90)
+        + [Leg(5.0, _D90, Env.OFFICE)]
+        + _zigzag(40.0, Env.OFFICE, 13.0, 0.0, lead_turn=_D90)
+    )
+    built = build_path("survey", Point(2.0, 2.0), _D90, legs)
+    return PlaceBuilder("office-2", Env.OFFICE, margin=8.0).add("survey", built).build()

@@ -1,0 +1,160 @@
+"""Walkable corridors, walls, and landmarks.
+
+The motion-based PDR scheme (Li et al. [7]) imposes map constraints on its
+particles: a particle that leaves the walkable area is killed.  The
+corridor graph here provides that constraint, plus the "width of the
+corridor" influence factor (beta_2 in the paper's Table I), and the wall
+list feeds the radio propagation model's obstruction count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Point, Segment
+
+
+@dataclass(frozen=True)
+class Corridor:
+    """A walkable corridor: a centerline segment with a width."""
+
+    centerline: Segment
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ValueError("corridor width must be positive")
+
+    def contains(self, point: Point) -> bool:
+        """Return True if ``point`` is within half a width of the centerline."""
+        return self.centerline.distance_to_point(point) <= self.width / 2.0
+
+    def distance_to(self, point: Point) -> float:
+        """Return the distance from ``point`` to the corridor centerline."""
+        return self.centerline.distance_to_point(point)
+
+
+class LandmarkKind(enum.Enum):
+    """Calibration landmark types detectable by a walking smartphone.
+
+    The paper's PDR implementation detects turns, doors, and signatures
+    (UnLoc [12]-style Wi-Fi / magnetic anomalies) to reset accumulated
+    dead-reckoning error.
+    """
+
+    TURN = "turn"
+    DOOR = "door"
+    SIGNATURE = "signature"
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """A calibration landmark at a known map position.
+
+    Attributes:
+        position: the landmark's surveyed location.
+        kind: what physical feature produces the detection.
+        detection_radius: a walker passing within this distance triggers a
+            detection (the phone senses the turn / door / signature).
+    """
+
+    position: Point
+    kind: LandmarkKind
+    detection_radius: float = 3.0
+
+
+@dataclass
+class FloorPlan:
+    """The walkable geometry of a place.
+
+    Attributes:
+        corridors: walkable corridor list (may be empty for open spaces,
+            in which case everything inside the place boundary is walkable).
+        walls: obstruction segments used by radio propagation.
+        landmarks: PDR calibration landmarks.
+    """
+
+    corridors: list[Corridor]
+    walls: list[Segment]
+    landmarks: list[Landmark]
+
+    def is_walkable(self, point: Point) -> bool:
+        """Return True if a pedestrian (or PDR particle) may stand at ``point``.
+
+        With no corridors defined the whole place is walkable — open spaces
+        impose effectively no map constraint, which is exactly why the
+        paper's motion scheme degrades outdoors.
+        """
+        if not self.corridors:
+            return True
+        return any(c.contains(point) for c in self.corridors)
+
+    def corridor_width_at(self, point: Point, default: float) -> float:
+        """Return the width of the corridor nearest to ``point``.
+
+        Args:
+            point: query location.
+            default: width to report when the plan has no corridors
+                (taken from the environment profile).
+        """
+        if not self.corridors:
+            return default
+        nearest = min(self.corridors, key=lambda c: c.distance_to(point))
+        return nearest.width
+
+    def walls_crossed(self, a: Point, b: Point) -> int:
+        """Return how many walls the straight ray from ``a`` to ``b`` crosses.
+
+        The propagation model charges a per-wall attenuation for each
+        crossing (multi-wall COST-231 style).  The test is vectorized over
+        the wall list with the standard orientation predicate; collinear
+        touches fall back to the exact segment routine.
+        """
+        if not self.walls:
+            return 0
+        import numpy as np
+
+        arrays = getattr(self, "_wall_arrays", None)
+        if arrays is None or arrays[0].shape[0] != len(self.walls):
+            starts = np.array([[w.start.x, w.start.y] for w in self.walls])
+            ends = np.array([[w.end.x, w.end.y] for w in self.walls])
+            arrays = (starts, ends)
+            self._wall_arrays = arrays
+        starts, ends = arrays
+        p = np.array([a.x, a.y])
+        r = np.array([b.x - a.x, b.y - a.y])
+        s = ends - starts
+        qp = starts - p
+        r_cross_s = r[0] * s[:, 1] - r[1] * s[:, 0]
+        qp_cross_r = qp[:, 0] * r[1] - qp[:, 1] * r[0]
+        qp_cross_s = qp[:, 0] * s[:, 1] - qp[:, 1] * s[:, 0]
+        nonparallel = np.abs(r_cross_s) > 1e-12
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(nonparallel, qp_cross_s / r_cross_s, np.nan)
+            u = np.where(nonparallel, qp_cross_r / r_cross_s, np.nan)
+        hits = nonparallel & (t >= 0.0) & (t <= 1.0) & (u >= 0.0) & (u <= 1.0)
+        count = int(hits.sum())
+        # Parallel walls are almost never collinear with a radio ray, but
+        # stay exact for the ones that are.
+        parallel = ~nonparallel
+        if parallel.any() and np.any(np.abs(qp_cross_r[parallel]) < 1e-9):
+            ray = Segment(a, b)
+            for idx in np.nonzero(parallel)[0]:
+                if abs(qp_cross_r[idx]) < 1e-9 and ray.intersects(self.walls[idx]):
+                    count += 1
+        return count
+
+    def nearest_landmark(self, point: Point) -> Landmark | None:
+        """Return the landmark closest to ``point``, or None if there are none."""
+        if not self.landmarks:
+            return None
+        return min(self.landmarks, key=lambda lm: lm.position.distance_to(point))
+
+    def detectable_landmarks(self, point: Point) -> list[Landmark]:
+        """Return landmarks whose detection radius covers ``point``."""
+        return [
+            lm
+            for lm in self.landmarks
+            if lm.position.distance_to(point) <= lm.detection_radius
+        ]

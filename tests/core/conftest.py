@@ -1,0 +1,17 @@
+"""Shared fixtures for core tests: a small trained office system."""
+
+import pytest
+
+from repro.eval import PlaceSetup, build_framework
+from repro.eval.experiments import shared_models
+
+
+@pytest.fixture(scope="package")
+def office_system():
+    """Trained models plus an office setup and one recorded walk."""
+    from repro.world import build_office_place
+
+    models = shared_models(0)
+    setup = PlaceSetup.create(build_office_place(), seed=21)
+    walk, snaps = setup.record_walk("survey", walk_seed=5, trace_seed=6)
+    return {"models": models, "setup": setup, "walk": walk, "snaps": snaps}

@@ -1,0 +1,107 @@
+"""Tests for the related-work baselines (A-Loc, global-weight BMA)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALocSelector, GlobalWeightBma, OfflineErrorMap
+from repro.geometry import Grid, Point
+from repro.schemes import SchemeOutput
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 40, 40, cell_size=4.0)
+
+
+def outputs_at(points: dict[str, Point]):
+    return {
+        name: SchemeOutput(position=p, spread=2.0) for name, p in points.items()
+    }
+
+
+class TestOfflineErrorMap:
+    def test_lookup_returns_recorded_mean(self, grid):
+        error_map = OfflineErrorMap(grid)
+        error_map.record("wifi", Point(10, 10), 2.0)
+        error_map.record("wifi", Point(10, 10), 4.0)
+        assert error_map.lookup("wifi", Point(10, 10)) == pytest.approx(3.0)
+
+    def test_neighbor_fallback(self, grid):
+        error_map = OfflineErrorMap(grid)
+        error_map.record("wifi", Point(10, 10), 5.0)
+        # Adjacent cell: falls back to the neighborhood.
+        assert error_map.lookup("wifi", Point(14, 10)) == pytest.approx(5.0)
+
+    def test_new_place_has_no_records(self, grid):
+        error_map = OfflineErrorMap(grid)
+        error_map.record("wifi", Point(2, 2), 1.0)
+        assert error_map.lookup("wifi", Point(38, 38)) is None
+        assert error_map.lookup("cellular", Point(2, 2)) is None
+
+    def test_coverage(self, grid):
+        error_map = OfflineErrorMap(grid)
+        assert error_map.coverage("wifi") == 0.0
+        error_map.record("wifi", Point(2, 2), 1.0)
+        assert 0.0 < error_map.coverage("wifi") < 0.5
+
+
+class TestALocSelector:
+    def make_map(self, grid):
+        error_map = OfflineErrorMap(grid)
+        here = Point(10, 10)
+        error_map.record("motion", here, 8.0)     # cheap but inaccurate
+        error_map.record("cellular", here, 4.0)   # cheap enough, meets 5 m
+        error_map.record("wifi", here, 1.0)       # accurate but pricier
+        return error_map
+
+    def test_picks_cheapest_meeting_requirement(self, grid):
+        selector = ALocSelector(self.make_map(grid), accuracy_requirement_m=5.0)
+        outputs = outputs_at(
+            {"motion": Point(1, 1), "cellular": Point(2, 2), "wifi": Point(3, 3)}
+        )
+        assert selector.select(outputs, Point(10, 10)) == "cellular"
+
+    def test_falls_back_to_most_accurate(self, grid):
+        selector = ALocSelector(self.make_map(grid), accuracy_requirement_m=0.5)
+        outputs = outputs_at(
+            {"motion": Point(1, 1), "cellular": Point(2, 2), "wifi": Point(3, 3)}
+        )
+        assert selector.select(outputs, Point(10, 10)) == "wifi"
+
+    def test_cannot_operate_in_new_place(self, grid):
+        """The paper's scalability contrast: no records, no A-Loc."""
+        selector = ALocSelector(self.make_map(grid))
+        outputs = outputs_at({"wifi": Point(3, 3)})
+        assert selector.select(outputs, Point(38, 38)) is None
+
+    def test_skips_unavailable_schemes(self, grid):
+        selector = ALocSelector(self.make_map(grid), accuracy_requirement_m=5.0)
+        outputs = outputs_at({"wifi": Point(3, 3)})
+        outputs["cellular"] = None
+        assert selector.select(outputs, Point(10, 10)) == "wifi"
+
+
+class TestGlobalWeightBma:
+    def test_calibration_weights_inverse_mse(self, grid):
+        bma = GlobalWeightBma.calibrate(
+            grid, {"good": [1.0, 1.0], "bad": [10.0, 10.0]}
+        )
+        assert bma.weights["good"] > 50 * bma.weights["bad"]
+        assert sum(bma.weights.values()) == pytest.approx(1.0)
+
+    def test_empty_calibration_rejected(self, grid):
+        with pytest.raises(ValueError):
+            GlobalWeightBma.calibrate(grid, {"a": []})
+
+    def test_fuse_weighted_toward_good_scheme(self, grid):
+        bma = GlobalWeightBma.calibrate(
+            grid, {"good": [1.0], "bad": [20.0]}
+        )
+        fused = bma.fuse(
+            outputs_at({"good": Point(10, 10), "bad": Point(30, 30)})
+        )
+        assert fused.distance_to(Point(10, 10)) < 5.0
+
+    def test_fuse_none_without_outputs(self, grid):
+        bma = GlobalWeightBma.calibrate(grid, {"a": [1.0]})
+        assert bma.fuse({"a": None}) is None

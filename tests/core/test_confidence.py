@@ -1,0 +1,59 @@
+"""Tests for confidence and BMA weights (paper Eqs. 2 and 5)."""
+
+import pytest
+
+from repro.core import adaptive_threshold, confidence, normalized_weights
+
+
+class TestConfidence:
+    def test_error_at_threshold_is_half(self):
+        assert confidence(5.0, 2.0, 5.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing_in_predicted_error(self):
+        values = [confidence(mu, 2.0, 5.0) for mu in (1.0, 3.0, 5.0, 9.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_threshold(self):
+        values = [confidence(5.0, 2.0, tau) for tau in (2.0, 5.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_good_scheme_near_one(self):
+        assert confidence(1.0, 1.0, 10.0) > 0.99
+
+    def test_bad_scheme_near_zero(self):
+        assert confidence(20.0, 1.0, 5.0) < 0.01
+
+    def test_zero_sigma_degenerates_to_comparison(self):
+        assert confidence(4.0, 0.0, 5.0) == 1.0
+        assert confidence(6.0, 0.0, 5.0) == 0.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            confidence(1.0, -1.0, 5.0)
+
+
+class TestThreshold:
+    def test_tau_is_mean(self):
+        assert adaptive_threshold([2.0, 4.0, 6.0]) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            adaptive_threshold([])
+
+
+class TestWeights:
+    def test_weights_normalize(self):
+        weights = normalized_weights({"a": 0.9, "b": 0.3})
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["a"] == pytest.approx(0.75)
+
+    def test_zero_confidence_zero_weight(self):
+        weights = normalized_weights({"a": 0.5, "b": 0.0})
+        assert weights["b"] == 0.0
+
+    def test_all_zero_falls_back_to_uniform(self):
+        weights = normalized_weights({"a": 0.0, "b": 0.0})
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_empty_weights(self):
+        assert normalized_weights({}) == {}

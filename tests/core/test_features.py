@@ -1,0 +1,138 @@
+"""Tests for influence-factor extraction (Table I)."""
+
+import pytest
+
+from repro.core import (
+    FeatureContext,
+    FingerprintFeatures,
+    FusionFeatures,
+    GpsFeatures,
+    MotionFeatures,
+)
+from repro.geometry import Point
+from repro.radio import Fingerprint, FingerprintDatabase
+from repro.schemes import SchemeOutput
+from repro.sensors.gps import GpsStatus
+from repro.sensors.imu import ImuReading
+from repro.sensors.snapshot import SensorSnapshot
+from repro.world import FloorPlan, Place, EnvironmentType
+from repro.geometry import Polygon
+
+
+@pytest.fixture
+def db():
+    return FingerprintDatabase(
+        [
+            Fingerprint(Point(0, 0), {"a": -40.0}),
+            Fingerprint(Point(5, 0), {"a": -50.0}),
+            Fingerprint(Point(10, 0), {"a": -60.0}),
+        ]
+    )
+
+
+@pytest.fixture
+def place():
+    return Place(
+        name="t",
+        boundary=Polygon.rectangle(-10, -10, 30, 30),
+        regions=[],
+        default_env=EnvironmentType.OFFICE,
+        floorplan=FloorPlan(corridors=[], walls=[], landmarks=[]),
+    )
+
+
+def make_ctx(output=None, predicted=Point(5, 0), indoor=True):
+    snap = SensorSnapshot(
+        index=0,
+        time_s=0.0,
+        wifi_scan={"a": -50.0},
+        cell_scan={},
+        gps=GpsStatus(7, 1.1, None),
+        imu=ImuReading((), 0.0, 0.0, 0.2, 3.0),
+        light_lux=300.0,
+    )
+    return FeatureContext(
+        snapshot=snap, output=output, predicted_location=predicted, indoor=indoor
+    )
+
+
+class TestFingerprintFeatures:
+    def test_names_stable_across_context(self, db):
+        fx = FingerprintFeatures(db)
+        assert fx.feature_names(True) == fx.feature_names(False)
+
+    def test_source_count_feature_optional(self, db):
+        """Cellular models include the audible tower count (Table I)."""
+        wifi_like = FingerprintFeatures(db)
+        cell_like = FingerprintFeatures(db, include_source_count=True)
+        assert "n_sources" not in wifi_like.feature_names(True)
+        assert cell_like.feature_names(True)[-1] == "n_sources"
+
+    def test_density_from_database(self, db):
+        fx = FingerprintFeatures(db)
+        features = fx.extract(make_ctx())
+        assert features["fingerprint_density"] == pytest.approx(5.0)
+
+    def test_deviation_from_output_quality(self, db):
+        fx = FingerprintFeatures(db)
+        out = SchemeOutput(
+            position=Point(0, 0), spread=1.0,
+            quality={"candidate_deviation": 3.3, "n_sources": 2.0},
+        )
+        features = fx.extract(make_ctx(output=out))
+        assert features["rssi_distance_deviation"] == 3.3
+        assert features["n_sources"] == 2.0
+
+    def test_unavailable_scheme_defaults(self, db):
+        features = FingerprintFeatures(db).extract(make_ctx(output=None))
+        assert features["rssi_distance_deviation"] == 0.0
+
+
+class TestMotionFeatures:
+    def test_names(self, place):
+        fx = MotionFeatures(place)
+        assert "distance_since_landmark" in fx.feature_names(True)
+        assert "corridor_width" in fx.feature_names(False)
+
+    def test_extracts_distance_and_width(self, place):
+        fx = MotionFeatures(place)
+        out = SchemeOutput(
+            position=Point(0, 0), spread=1.0,
+            quality={"distance_since_landmark": 42.0},
+        )
+        features = fx.extract(make_ctx(output=out))
+        assert features["distance_since_landmark"] == 42.0
+        assert features["corridor_width"] == 2.0  # office profile default
+
+
+class TestFusionFeatures:
+    def test_indoor_includes_wifi_density(self, place, db):
+        fx = FusionFeatures(place, db)
+        assert "fingerprint_density" in fx.feature_names(True)
+        assert "fingerprint_density" not in fx.feature_names(False)
+
+    def test_outdoor_model_equals_motion_model(self, place, db):
+        """Paper: the fusion outdoor model is the motion model."""
+        fusion = FusionFeatures(place, db)
+        motion = MotionFeatures(place)
+        assert fusion.feature_names(False) == motion.feature_names(False)
+
+
+class TestGpsFeatures:
+    def test_no_model_features(self):
+        assert GpsFeatures().feature_names(True) == ()
+        assert GpsFeatures().feature_names(False) == ()
+
+    def test_reports_chip_metadata_anyway(self):
+        features = GpsFeatures().extract(make_ctx())
+        assert features["n_satellites"] == 7.0
+        assert features["hdop"] == 1.1
+
+    def test_infinite_hdop_capped(self):
+        snap = SensorSnapshot(
+            index=0, time_s=0.0, wifi_scan={}, cell_scan={},
+            gps=GpsStatus(0, float("inf"), None),
+            imu=ImuReading((), 0.0, 0.0, 0.0, 2.0), light_lux=100.0,
+        )
+        ctx = FeatureContext(snap, None, Point(0, 0), True)
+        assert GpsFeatures().extract(ctx)["hdop"] == 99.0

@@ -1,0 +1,114 @@
+"""Tests for the UniLoc framework."""
+
+import pytest
+
+from repro.core import SchemeBundle, UniLocFramework
+from repro.eval import build_framework, run_walk
+
+
+@pytest.fixture()
+def framework(office_system):
+    setup, models, walk = (
+        office_system["setup"],
+        office_system["models"],
+        office_system["walk"],
+    )
+    return build_framework(setup, models, walk.moments[0].position, scheme_seed=9)
+
+
+def test_needs_at_least_one_scheme(office_system):
+    setup = office_system["setup"]
+    with pytest.raises(ValueError):
+        UniLocFramework(place=setup.place, bundles={})
+
+
+def test_step_produces_consistent_decision(framework, office_system):
+    snaps = office_system["snaps"]
+    decision = framework.step(snaps[1])
+    assert decision.uniloc2_position is not None
+    assert decision.selected in decision.available_schemes()
+    assert sum(decision.weights.values()) == pytest.approx(1.0)
+    # Confidences only for available schemes.
+    assert set(decision.confidences) == set(decision.available_schemes()) & set(
+        decision.predicted_errors
+    )
+
+
+def test_gps_off_indoors(framework, office_system):
+    snaps = office_system["snaps"]
+    for snap in snaps[:30]:
+        decision = framework.step(snap)
+        if decision.indoor:
+            assert not decision.gps_enabled
+            assert decision.outputs["gps"] is None
+
+
+def test_uniloc1_matches_highest_confidence(framework, office_system):
+    snaps = office_system["snaps"]
+    decision = framework.step(snaps[1])
+    best = max(decision.confidences, key=decision.confidences.get)
+    assert decision.selected == best
+    assert decision.uniloc1_position == decision.outputs[best].position
+
+
+def test_uniloc2_position_within_place(framework, office_system):
+    setup, snaps = office_system["setup"], office_system["snaps"]
+    min_x, min_y, max_x, max_y = setup.place.boundary.bounding_box()
+    for snap in snaps[:40]:
+        decision = framework.step(snap)
+        p = decision.uniloc2_position
+        assert min_x <= p.x <= max_x
+        assert min_y <= p.y <= max_y
+
+
+def test_add_scheme_rejects_duplicates(framework):
+    bundle = next(iter(framework.bundles.values()))
+    with pytest.raises(ValueError):
+        framework.add_scheme("wifi", bundle)
+
+
+def test_add_scheme_integrates_new_scheme(framework, office_system):
+    """The paper's 'General' claim: a new scheme joins the ensemble."""
+    from repro.core import ErrorModelSet, LinearErrorModel
+    from repro.core.features import GpsFeatures
+    from repro.schemes import ModelBasedScheme
+
+    setup = office_system["setup"]
+    import numpy as np
+
+    model = LinearErrorModel((), fit_intercept=True)
+    model.fit(np.zeros((50, 0)), np.full(50, 6.0))
+    framework.add_scheme(
+        "model_based",
+        SchemeBundle(
+            scheme=ModelBasedScheme(setup.radio.access_points),
+            error_models=ErrorModelSet(indoor=model, outdoor=model),
+            extractor=GpsFeatures(),
+        ),
+    )
+    decision = framework.step(office_system["snaps"][1])
+    assert "model_based" in decision.outputs
+    if decision.outputs["model_based"] is not None:
+        assert "model_based" in decision.weights
+
+
+def test_reset_clears_scheme_state(framework, office_system):
+    snaps = office_system["snaps"]
+    for snap in snaps[:20]:
+        framework.step(snap)
+    framework.reset()
+    decision = framework.step(snaps[0])
+    assert decision.uniloc2_position is not None
+
+
+def test_run_walk_integration(framework, office_system):
+    setup, walk, snaps = (
+        office_system["setup"],
+        office_system["walk"],
+        office_system["snaps"],
+    )
+    result = run_walk(framework, setup.place, "survey", walk, snaps)
+    assert len(result.records) == len(walk.moments)
+    assert result.mean_error("uniloc2") < 8.0
+    usage = result.usage("uniloc1")
+    assert sum(usage.values()) == pytest.approx(1.0)

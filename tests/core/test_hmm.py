@@ -1,0 +1,55 @@
+"""Tests for the second-order HMM location predictor."""
+
+import pytest
+
+from repro.core import SecondOrderHmm
+from repro.geometry import Grid, Point
+
+
+@pytest.fixture
+def hmm():
+    return SecondOrderHmm(Grid(0, 0, 100, 100, cell_size=2.0))
+
+
+def test_no_history_no_prediction(hmm):
+    assert hmm.predict() is None
+    assert hmm.predictive_posterior() is None
+    assert not hmm.has_history
+
+
+def test_single_observation_predicts_itself(hmm):
+    hmm.observe(Point(10, 10))
+    assert hmm.predict() == Point(10, 10)
+
+
+def test_two_observations_extrapolate_constant_velocity(hmm):
+    hmm.observe(Point(10, 10))
+    hmm.observe(Point(12, 10))
+    predicted = hmm.predict()
+    # Extrapolation to (14, 10), snapped to the 2 m grid.
+    assert predicted.distance_to(Point(14, 10)) <= 2.0
+
+
+def test_rolling_history(hmm):
+    for x in (0.0, 2.0, 4.0, 6.0):
+        hmm.observe(Point(x, 0))
+    predicted = hmm.predict()
+    assert predicted.distance_to(Point(8, 0)) <= 2.0
+
+
+def test_reset_forgets(hmm):
+    hmm.observe(Point(10, 10))
+    hmm.reset()
+    assert hmm.predict() is None
+
+
+def test_predictive_posterior_peaks_at_prediction(hmm):
+    import numpy as np
+
+    hmm.observe(Point(20, 20))
+    hmm.observe(Point(24, 20))
+    posterior = hmm.predictive_posterior()
+    grid = hmm.grid
+    peak = grid.center_of(int(np.argmax(posterior)))
+    assert peak.distance_to(hmm.predict()) <= 2.0
+    assert posterior.sum() == pytest.approx(1.0)

@@ -1,0 +1,57 @@
+"""Tests for IODetector."""
+
+import pytest
+
+from repro.core import IODetector
+from repro.sensors.gps import GpsStatus
+from repro.sensors.imu import ImuReading
+from repro.sensors.snapshot import SensorSnapshot
+
+
+def make_snapshot(light, magnetic, cell_rssi):
+    return SensorSnapshot(
+        index=0,
+        time_s=0.0,
+        wifi_scan={},
+        cell_scan={"t0": cell_rssi} if cell_rssi is not None else {},
+        gps=GpsStatus(0, float("inf"), None),
+        imu=ImuReading((), 0.0, 0.0, 0.0, magnetic),
+        light_lux=light,
+    )
+
+
+@pytest.fixture
+def detector():
+    return IODetector()
+
+
+def test_office_classified_indoor(detector):
+    snap = make_snapshot(light=350.0, magnetic=6.0, cell_rssi=-100.0)
+    assert detector.is_indoor(snap)
+
+
+def test_open_space_classified_outdoor(detector):
+    snap = make_snapshot(light=20000.0, magnetic=1.5, cell_rssi=-70.0)
+    assert not detector.is_indoor(snap)
+
+
+def test_semi_open_corridor_still_indoor(detector):
+    """Roofed corridors are indoor per the paper despite more daylight."""
+    snap = make_snapshot(light=2500.0, magnetic=4.0, cell_rssi=-96.0)
+    assert detector.is_indoor(snap)
+
+
+def test_majority_vote_two_of_three(detector):
+    # Bright but magnetically disturbed with weak cellular: indoor wins.
+    snap = make_snapshot(light=10000.0, magnetic=8.0, cell_rssi=-100.0)
+    assert detector.is_indoor(snap)
+
+
+def test_no_cellular_counts_as_indoor_vote(detector):
+    votes = detector.votes(make_snapshot(light=100.0, magnetic=9.0, cell_rssi=None))
+    assert votes["cellular"] is True
+
+
+def test_votes_exposed_per_detector(detector):
+    votes = detector.votes(make_snapshot(light=20000.0, magnetic=1.0, cell_rssi=-60.0))
+    assert votes == {"light": False, "magnetic": False, "cellular": False}

@@ -1,0 +1,100 @@
+"""Tests for the Kalman location predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import KalmanLocationPredictor
+from repro.geometry import Point
+
+
+def test_untracked_predicts_none():
+    kf = KalmanLocationPredictor()
+    assert kf.predict() is None
+    assert kf.velocity() is None
+    assert not kf.has_history
+
+
+def test_first_observation_anchors():
+    kf = KalmanLocationPredictor()
+    kf.observe(Point(5, 5))
+    assert kf.predict().distance_to(Point(5, 5)) < 0.5
+
+
+def test_tracks_constant_velocity():
+    """Walking east at 1.4 m/s, predictions lead the last observation."""
+    kf = KalmanLocationPredictor(dt=0.5)
+    for i in range(30):
+        kf.observe(Point(0.7 * i, 0.0))
+    vx, vy = kf.velocity()
+    assert vx == pytest.approx(1.4, abs=0.2)
+    assert vy == pytest.approx(0.0, abs=0.1)
+    predicted = kf.predict()
+    assert predicted.x == pytest.approx(0.7 * 29 + 0.7, abs=0.5)
+
+
+def test_noise_rejection_beats_raw_observations():
+    """Prediction error under noisy observations is below the noise."""
+    rng = np.random.default_rng(0)
+    kf = KalmanLocationPredictor(dt=0.5, observation_noise_m=2.0)
+    errors = []
+    for i in range(200):
+        truth = Point(0.7 * i, 0.0)
+        noisy = Point(truth.x + rng.normal(0, 2.0), truth.y + rng.normal(0, 2.0))
+        kf.observe(noisy)
+        if i > 20:
+            next_truth = Point(0.7 * (i + 1), 0.0)
+            errors.append(kf.predict().distance_to(next_truth))
+    assert np.mean(errors) < 2.0
+
+
+def test_turn_is_followed_with_lag():
+    kf = KalmanLocationPredictor(dt=0.5, process_noise=2.0)
+    for i in range(20):
+        kf.observe(Point(0.7 * i, 0.0))
+    corner = Point(0.7 * 19, 0.0)
+    for j in range(1, 20):
+        kf.observe(Point(corner.x, 0.7 * j))
+    vx, vy = kf.velocity()
+    assert vy > 0.8  # now walking north
+
+
+def test_uncertainty_shrinks_with_observations():
+    kf = KalmanLocationPredictor()
+    kf.observe(Point(0, 0))
+    early = kf.position_uncertainty()
+    for i in range(20):
+        kf.observe(Point(0.7 * i, 0.0))
+    assert kf.position_uncertainty() < early
+
+
+def test_reset():
+    kf = KalmanLocationPredictor()
+    kf.observe(Point(1, 1))
+    kf.reset()
+    assert kf.predict() is None
+
+
+def test_invalid_dt():
+    with pytest.raises(ValueError):
+        KalmanLocationPredictor(dt=0.0)
+
+
+def test_framework_accepts_kalman_predictor(office_system):
+    """The framework runs with either predictor (paper: 'HMM or Kalman')."""
+    from repro.eval import build_framework, run_walk
+
+    setup, models, walk = (
+        office_system["setup"],
+        office_system["models"],
+        office_system["walk"],
+    )
+    framework = build_framework(setup, models, walk.moments[0].position)
+    framework.location_predictor = None  # default HMM path already tested
+    kalman_framework = build_framework(
+        setup, models, walk.moments[0].position
+    )
+    kalman_framework._hmm = KalmanLocationPredictor()
+    result = run_walk(
+        kalman_framework, setup.place, "survey", walk, office_system["snaps"]
+    )
+    assert result.mean_error("uniloc2") < 8.0

@@ -1,0 +1,28 @@
+"""Tests for the OptSel oracle."""
+
+from repro.core import select_best
+from repro.geometry import Point
+from repro.schemes import SchemeOutput
+
+
+def test_picks_minimum_error_scheme():
+    truth = Point(0, 0)
+    outputs = {
+        "far": SchemeOutput(position=Point(10, 0), spread=1.0),
+        "near": SchemeOutput(position=Point(1, 0), spread=1.0),
+        "off": None,
+    }
+    choice = select_best(outputs, truth)
+    assert choice.scheme == "near"
+    assert choice.error == 1.0
+
+
+def test_none_when_everything_unavailable():
+    assert select_best({"a": None, "b": None}, Point(0, 0)) is None
+
+
+def test_single_scheme():
+    outputs = {"only": SchemeOutput(position=Point(3, 4), spread=1.0)}
+    choice = select_best(outputs, Point(0, 0))
+    assert choice.scheme == "only"
+    assert choice.error == 5.0

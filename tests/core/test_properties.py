@@ -1,0 +1,101 @@
+"""Property-based tests on UniLoc's core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import adaptive_threshold, confidence, normalized_weights
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    mu=st.floats(0.0, 100.0),
+    sigma=st.floats(0.01, 50.0),
+    tau=st.floats(0.0, 100.0),
+)
+def test_confidence_is_a_probability(mu, sigma, tau):
+    c = confidence(mu, sigma, tau)
+    assert 0.0 <= c <= 1.0
+    assert math.isfinite(c)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    mus=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=6),
+    sigma=st.floats(0.1, 20.0),
+)
+def test_weights_order_matches_prediction_order(mus, sigma):
+    """With equal residual deviations, a lower predicted error can never
+    receive a lower weight — the ensemble must respect its own ranking."""
+    tau = adaptive_threshold(mus)
+    confidences = {f"s{i}": confidence(mu, sigma, tau) for i, mu in enumerate(mus)}
+    weights = normalized_weights(confidences)
+    order = sorted(range(len(mus)), key=lambda i: mus[i])
+    for a, b in zip(order, order[1:]):
+        assert weights[f"s{a}"] >= weights[f"s{b}"] - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    confidences=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+        st.floats(0.0, 1.0),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_weights_always_a_distribution(confidences):
+    weights = normalized_weights(confidences)
+    assert set(weights) == set(confidences)
+    assert sum(weights.values()) == pytest.approx(1.0)
+    assert all(w >= 0.0 for w in weights.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    beta=st.lists(st.floats(-3, 3), min_size=1, max_size=3),
+    scale=st.floats(0.5, 10.0),
+)
+def test_error_model_prediction_is_linear_before_clamping(beta, scale):
+    """Doubling all features doubles the (unclamped) prediction —
+    verified through the positive region where clamping is inactive."""
+    from repro.core import LinearErrorModel
+
+    rng = np.random.default_rng(5)
+    names = tuple(f"f{i}" for i in range(len(beta)))
+    x = rng.uniform(0, 10, (80, len(beta)))
+    y = np.abs(x @ np.array(beta)) + rng.normal(0, 0.1, 80)
+    model = LinearErrorModel(names)
+    model.fit(x, y)
+    base = {n: scale for n in names}
+    doubled = {n: 2 * scale for n in names}
+    p1, p2 = model.predict(base), model.predict(doubled)
+    if p1 > 0.0 and p2 > 0.0:
+        assert p2 == pytest.approx(2 * p1, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    displacements=st.lists(
+        st.tuples(st.floats(-2, 2), st.floats(-2, 2)), min_size=3, max_size=20
+    )
+)
+def test_hmm_prediction_stays_near_recent_estimates(displacements):
+    """The predictor never extrapolates further than one inter-estimate
+    displacement beyond the last observation (plus grid quantization)."""
+    from repro.core import SecondOrderHmm
+    from repro.geometry import Grid, Point
+
+    grid = Grid(-100, -100, 100, 100, cell_size=2.0)
+    hmm = SecondOrderHmm(grid)
+    position = Point(0.0, 0.0)
+    last_step = 0.0
+    for dx, dy in displacements:
+        position = Point(position.x + dx, position.y + dy)
+        hmm.observe(position)
+        last_step = math.hypot(dx, dy)
+    predicted = hmm.predict()
+    assert predicted.distance_to(position) <= last_step + 2.0 * grid.cell_size

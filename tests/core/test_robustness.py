@@ -1,0 +1,107 @@
+"""Failure-injection tests: UniLoc under degraded or dead sensors.
+
+The framework's availability contract (§IV-A): a scheme that cannot
+produce output is temporarily excluded by zeroing its confidence, and
+the ensemble keeps operating on whatever remains.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval import build_framework, run_walk
+from repro.sensors.gps import GpsStatus
+from repro.sensors.imu import ImuReading
+
+
+def _kill_wifi(snapshots):
+    return [replace(s, wifi_scan={}) for s in snapshots]
+
+
+def _kill_cellular(snapshots):
+    return [replace(s, cell_scan={}) for s in snapshots]
+
+
+def _jam_gps(snapshots):
+    jammed = GpsStatus(n_satellites=0, hdop=float("inf"), fix=None)
+    return [replace(s, gps=jammed) for s in snapshots]
+
+
+def _freeze_imu(snapshots):
+    frozen = ImuReading((), 0.0, 0.0, 0.0, 5.0)
+    return [replace(s, imu=frozen) for s in snapshots]
+
+
+@pytest.fixture()
+def runnable(office_system):
+    setup = office_system["setup"]
+    models = office_system["models"]
+    walk = office_system["walk"]
+
+    def run(snapshots):
+        framework = build_framework(
+            setup, models, walk.moments[0].position, scheme_seed=3
+        )
+        return run_walk(framework, setup.place, "survey", walk, snapshots)
+
+    return run
+
+
+def test_wifi_outage_excludes_wifi_but_keeps_working(runnable, office_system):
+    result = runnable(_kill_wifi(office_system["snaps"]))
+    assert result.errors("wifi") == []
+    # Fusion silently degrades to plain PDR but stays available.
+    assert len(result.errors("fusion")) == len(result.records)
+    assert result.mean_error("uniloc2") < 10.0
+    for record in result.records:
+        assert "wifi" not in record.decision.weights
+
+
+def test_cellular_outage(runnable, office_system):
+    result = runnable(_kill_cellular(office_system["snaps"]))
+    assert result.errors("cellular") == []
+    assert result.mean_error("uniloc2") < 10.0
+
+
+def test_gps_jamming_is_harmless_indoors(runnable, office_system):
+    baseline = runnable(office_system["snaps"])
+    jammed = runnable(_jam_gps(office_system["snaps"]))
+    # GPS never contributed indoors anyway.
+    assert jammed.mean_error("uniloc2") == pytest.approx(
+        baseline.mean_error("uniloc2"), rel=0.25
+    )
+
+
+def test_frozen_imu_leaves_fingerprinting(runnable, office_system):
+    """With no step events PDR/fusion stall at the start, but the
+    ensemble leans on the radio schemes and keeps estimating."""
+    result = runnable(_freeze_imu(office_system["snaps"]))
+    assert len(result.errors("uniloc2")) == len(result.records)
+    # The stalled dead-reckoning schemes accumulate error; the ensemble
+    # must do clearly better than them over the walk.
+    assert result.mean_error("uniloc2") < result.mean_error("motion")
+
+
+def test_total_radio_blackout_still_estimates(runnable, office_system):
+    """Only the IMU left: UniLoc degrades to dead reckoning, never None."""
+    snaps = _kill_wifi(_kill_cellular(_jam_gps(office_system["snaps"])))
+    result = runnable(snaps)
+    available = {
+        name
+        for record in result.records
+        for name in record.decision.available_schemes()
+    }
+    assert available <= {"motion", "fusion"}
+    assert all(r.uniloc2_error is not None for r in result.records)
+
+
+def test_intermittent_wifi_flicker(runnable, office_system):
+    """Wi-Fi dying every other step must not crash or zero the output."""
+    snaps = [
+        replace(s, wifi_scan={}) if i % 2 == 0 else s
+        for i, s in enumerate(office_system["snaps"])
+    ]
+    result = runnable(snaps)
+    assert len(result.errors("wifi")) <= len(result.records) // 2 + 1
+    assert result.mean_error("uniloc2") < 10.0

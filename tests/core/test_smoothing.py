@@ -1,0 +1,101 @@
+"""Tests for temporal smoothing helpers."""
+
+import pytest
+
+from repro.core.smoothing import (
+    ExponentialSmoother,
+    MajorityWindow,
+    SmoothedIODetector,
+)
+
+
+class TestMajorityWindow:
+    def test_passes_stable_stream(self):
+        window = MajorityWindow(5)
+        assert all(window.update(True) for _ in range(10))
+
+    def test_suppresses_single_flicker(self):
+        window = MajorityWindow(5)
+        for _ in range(5):
+            window.update(True)
+        assert window.update(False) is True  # one blip is outvoted
+        assert window.update(True) is True
+
+    def test_sustained_change_flips(self):
+        window = MajorityWindow(3)
+        for _ in range(3):
+            window.update(True)
+        window.update(False)
+        window.update(False)
+        assert window.update(False) is False
+
+    def test_tie_resolves_to_latest(self):
+        window = MajorityWindow(2)
+        window.update(True)
+        assert window.update(False) is False
+
+    def test_reset(self):
+        window = MajorityWindow(4)
+        for _ in range(4):
+            window.update(True)
+        window.reset()
+        assert window.update(False) is False
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MajorityWindow(0)
+
+
+class TestExponentialSmoother:
+    def test_first_sample_passes_through(self):
+        assert ExponentialSmoother(0.3).update(7.0) == 7.0
+
+    def test_converges_to_constant(self):
+        smoother = ExponentialSmoother(0.5)
+        value = 0.0
+        for _ in range(30):
+            value = smoother.update(10.0)
+        assert value == pytest.approx(10.0, abs=0.01)
+
+    def test_damps_spikes(self):
+        smoother = ExponentialSmoother(0.2)
+        smoother.update(1.0)
+        spiked = smoother.update(100.0)
+        assert spiked < 25.0
+
+    def test_alpha_one_disables_smoothing(self):
+        smoother = ExponentialSmoother(1.0)
+        smoother.update(1.0)
+        assert smoother.update(42.0) == 42.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoother(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoother(1.5)
+
+    def test_reset(self):
+        smoother = ExponentialSmoother(0.3)
+        smoother.update(5.0)
+        smoother.reset()
+        assert smoother.value is None
+
+
+class TestSmoothedIODetector:
+    def test_flicker_suppressed_on_real_trace(self, office_system):
+        """Around doorways the raw detector may flicker; the smoothed one
+        must produce no more transitions than the raw one."""
+        from repro.core import IODetector
+
+        snaps = office_system["snaps"]
+        raw = IODetector()
+        smoothed = SmoothedIODetector(window_size=5)
+        raw_seq = [raw.is_indoor(s) for s in snaps]
+        smooth_seq = [smoothed.is_indoor(s) for s in snaps]
+        raw_flips = sum(1 for a, b in zip(raw_seq, raw_seq[1:]) if a != b)
+        smooth_flips = sum(
+            1 for a, b in zip(smooth_seq, smooth_seq[1:]) if a != b
+        )
+        assert smooth_flips <= raw_flips
+        # And the steady-state answer is still "indoor" in the office.
+        assert sum(smooth_seq) > 0.9 * len(smooth_seq)

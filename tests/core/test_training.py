@@ -1,0 +1,71 @@
+"""Tests for the 2-step error-modeling workflow."""
+
+import pytest
+
+from repro.core import ErrorModelTrainer
+
+
+def test_collect_requires_matching_lengths(office_system):
+    trainer = ErrorModelTrainer()
+    setup = office_system["setup"]
+    walk, snaps = office_system["walk"], office_system["snaps"]
+    schemes = setup.make_schemes(walk.moments[0].position)
+    extractors = setup.make_extractors()
+    with pytest.raises(ValueError):
+        trainer.collect_walk(setup.place, schemes, extractors, walk, snaps[:-5])
+
+
+def test_collect_accumulates_samples(office_system):
+    trainer = ErrorModelTrainer()
+    setup = office_system["setup"]
+    walk, snaps = office_system["walk"], office_system["snaps"]
+    schemes = setup.make_schemes(walk.moments[0].position)
+    extractors = setup.make_extractors()
+    trainer.collect_walk(setup.place, schemes, extractors, walk, snaps)
+    assert trainer.sample_count("wifi") > 100
+    assert trainer.sample_count("motion") == len(walk.moments)
+    # GPS never fixes indoors: no samples in the office.
+    assert trainer.sample_count("gps") == 0
+
+
+def test_fit_leaves_sparse_contexts_unfitted(office_system):
+    trainer = ErrorModelTrainer()
+    setup = office_system["setup"]
+    walk, snaps = office_system["walk"], office_system["snaps"]
+    schemes = setup.make_schemes(walk.moments[0].position)
+    extractors = setup.make_extractors()
+    trainer.collect_walk(setup.place, schemes, extractors, walk, snaps)
+    models = trainer.fit("wifi", extractors["wifi"])
+    assert models.indoor.is_fitted
+    assert not models.outdoor.is_fitted  # office walk has no outdoor data
+
+
+def test_samples_record_true_errors(office_system):
+    trainer = ErrorModelTrainer()
+    setup = office_system["setup"]
+    walk, snaps = office_system["walk"], office_system["snaps"]
+    schemes = setup.make_schemes(walk.moments[0].position)
+    extractors = setup.make_extractors()
+    trainer.collect_walk(setup.place, schemes, extractors, walk, snaps)
+    errors = [s.error for s in trainer.samples["wifi"]]
+    assert all(e >= 0 for e in errors)
+    assert max(errors) < 60.0  # bounded by the office size regime
+
+
+def test_shared_training_protocol_produces_paper_structure(office_system):
+    """The full trained model set has the paper's Table II structure."""
+    models = office_system["models"]
+    assert set(models) == {"gps", "wifi", "cellular", "motion", "fusion"}
+    # GPS: outdoor intercept-only, no indoor model.
+    assert not models["gps"].indoor.is_fitted
+    assert models["gps"].outdoor.is_fitted
+    gps_summary = models["gps"].outdoor.summary
+    assert len(gps_summary.coefficients) == 1  # the intercept
+    assert 8.0 < gps_summary.coefficients[0] < 20.0
+    # Motion: positive distance-since-landmark coefficient in both contexts.
+    for model in (models["motion"].indoor, models["motion"].outdoor):
+        assert model.is_fitted
+        assert model.summary.coefficients[0] > 0.0
+    # Fusion indoor has three features, outdoor two (the motion model).
+    assert len(models["fusion"].indoor.feature_names) == 3
+    assert len(models["fusion"].outdoor.feature_names) == 2

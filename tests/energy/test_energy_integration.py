@@ -1,0 +1,52 @@
+"""Integration tests: energy accounting over real walk results."""
+
+import pytest
+
+from repro.energy import energy_table, gps_saving_factor
+
+
+@pytest.fixture(scope="module")
+def walk_result(office_system_proxy=None):
+    from repro.eval import PlaceSetup, build_framework, run_walk
+    from repro.eval.experiments import shared_models
+    from repro.world import build_daily_path_place
+
+    setup = PlaceSetup.create(build_daily_path_place(), seed=3)
+    models = shared_models(0)
+    walk, snaps = setup.record_walk("path1", walk_seed=5, trace_seed=6)
+    framework = build_framework(setup, models, walk.moments[0].position)
+    return run_walk(framework, setup.place, "path1", walk, snaps)
+
+
+def test_energy_table_has_all_systems(walk_result):
+    names = [r.system for r in energy_table(walk_result)]
+    assert names == [
+        "gps", "wifi", "cellular", "motion", "fusion", "uniloc_no_gps", "uniloc",
+    ]
+
+
+def test_durations_match_the_walk(walk_result):
+    reports = energy_table(walk_result)
+    expected = walk_result.records[-1].moment.time_s
+    assert all(r.duration_s == expected for r in reports)
+
+
+def test_uniloc_overhead_in_paper_band(walk_result):
+    reports = {r.system: r for r in energy_table(walk_result)}
+    overhead = reports["uniloc"].energy_j / reports["motion"].energy_j - 1.0
+    assert 0.05 < overhead < 0.30  # paper: 14%
+
+
+def test_gps_saving_at_least_paper_factor(walk_result):
+    # Duty cycling saves at least the paper's 2.1x (unbounded if GPS
+    # never turned on during the walk).
+    assert gps_saving_factor(walk_result) >= 2.0
+
+
+def test_gps_scheme_charged_only_outdoors(walk_result):
+    reports = {r.system: r for r in energy_table(walk_result)}
+    # The standalone GPS scheme's power must sit between pure platform
+    # power (all-indoor walk) and platform + full GPS draw.
+    from repro.energy import BASE_PLATFORM_MW, GPS_MW
+
+    assert BASE_PLATFORM_MW < reports["gps"].power_mw < BASE_PLATFORM_MW + GPS_MW

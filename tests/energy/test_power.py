@@ -1,0 +1,62 @@
+"""Tests for the energy model (Table IV shapes)."""
+
+import pytest
+
+from repro.energy import (
+    BASE_PLATFORM_MW,
+    GPS_MW,
+    EnergyReport,
+    gps_saving_factor,
+    scheme_energy,
+)
+
+
+class TestSchemeEnergy:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_energy("sonar", 100.0, 200)
+
+    def test_motion_is_most_efficient_offloaded_scheme(self):
+        duration, n = 230.0, 460
+        energies = {
+            name: scheme_energy(name, duration, n).energy_j
+            for name in ("wifi", "cellular", "motion", "fusion")
+        }
+        assert energies["motion"] == min(energies.values())
+
+    def test_uniloc_overhead_over_pdr_near_14_percent(self):
+        """The paper's headline energy claim (§V-C)."""
+        duration, n = 230.0, 460
+        motion = scheme_energy("motion", duration, n).energy_j
+        uniloc = scheme_energy("uniloc", duration, n, gps_duty=0.0).energy_j
+        overhead = uniloc / motion - 1.0
+        assert 0.08 < overhead < 0.25
+
+    def test_gps_duty_scales_power(self):
+        always = scheme_energy("uniloc", 100.0, 200, gps_duty=1.0)
+        never = scheme_energy("uniloc", 100.0, 200, gps_duty=0.0)
+        assert always.power_mw - never.power_mw == pytest.approx(GPS_MW)
+
+    def test_standalone_gps_has_no_offload_traffic(self):
+        report = scheme_energy("gps", 100.0, 200)
+        assert report.transmission_j == 0.0
+
+    def test_energy_decomposition(self):
+        report = EnergyReport("x", power_mw=1000.0, duration_s=10.0, transmission_j=2.0)
+        assert report.energy_j == pytest.approx(12.0)
+
+    def test_transmission_energy_small_share(self):
+        """The paper: offloading transmissions do not noticeably increase
+        energy because bursts are short."""
+        report = scheme_energy("fusion", 230.0, 460)
+        assert report.transmission_j / report.energy_j < 0.1
+
+
+class TestGpsSaving:
+    def test_saving_infinite_when_gps_never_on(self, office_system_result=None):
+        # Construct a minimal fake result via the public runner types.
+        from repro.eval.runner import WalkResult
+
+        result = WalkResult("p", "w")
+        with pytest.raises(ValueError):
+            gps_saving_factor(result)

@@ -1,0 +1,48 @@
+"""Tests for the response-time model (Table V shapes)."""
+
+import pytest
+
+from repro.energy import SCHEME_COMPUTE_MS, response_time
+
+
+def test_default_breakdown_matches_paper_shape():
+    bt = response_time()
+    # Real-time: around 120 ms end to end.
+    assert 100.0 < bt.total_ms < 160.0
+    # Transmissions dominate (~73%).
+    assert 0.65 < bt.transmission_fraction < 0.80
+    # UniLoc adds ~6 ms (error prediction) + ~0.1 ms (BMA).
+    assert bt.uniloc_added_ms == pytest.approx(6.1)
+
+
+def test_parallel_schemes_take_the_max():
+    bt = response_time(("gps", "fusion"))
+    assert bt.scheme_compute_ms == SCHEME_COMPUTE_MS["fusion"]
+    bt_fast = response_time(("gps", "cellular"))
+    assert bt_fast.scheme_compute_ms == SCHEME_COMPUTE_MS["cellular"]
+
+
+def test_fusion_is_the_slowest_scheme():
+    assert max(SCHEME_COMPUTE_MS, key=SCHEME_COMPUTE_MS.get) == "fusion"
+
+
+def test_empty_scheme_set_rejected():
+    with pytest.raises(ValueError):
+        response_time(())
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        response_time(("warp_drive",))
+
+
+def test_total_is_sum_of_parts():
+    bt = response_time()
+    assert bt.total_ms == pytest.approx(
+        bt.phone_ms
+        + bt.upload_ms
+        + bt.scheme_compute_ms
+        + bt.error_prediction_ms
+        + bt.bma_ms
+        + bt.download_ms
+    )

@@ -1,0 +1,62 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import error_cdf, mean_error, normalized_rmse, percentile
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        data = list(map(float, range(101)))
+        assert percentile(data, 0) == 0.0
+        assert percentile(data, 100) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+
+class TestCdf:
+    def test_monotone_nondecreasing(self):
+        x, f = error_cdf([3.0, 1.0, 2.0, 5.0])
+        assert (np.diff(f) >= 0).all()
+        assert f[-1] == 1.0
+
+    def test_known_values(self):
+        x, f = error_cdf([1.0, 2.0, 3.0, 4.0], grid=np.array([2.5]))
+        assert f[0] == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_cdf([])
+
+
+class TestNormalizedRmse:
+    def test_perfect_prediction_zero(self):
+        assert normalized_rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # RMSE=1, mean actual=2 -> 0.5
+        assert normalized_rmse([1.0, 3.0], [2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([1.0], [1.0, 2.0])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([0.0], [0.0])
+
+
+def test_mean_error():
+    assert mean_error([1.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean_error([])

@@ -1,0 +1,74 @@
+"""Tests for the text-mode figure renderers."""
+
+import pytest
+
+from repro.eval.plots import render_bars, render_cdf, render_series
+
+
+class TestCdf:
+    def test_contains_legend_and_axes(self):
+        plot = render_cdf({"wifi": [1.0, 2.0, 3.0], "gps": [10.0, 12.0]})
+        assert "o wifi" in plot
+        assert "x gps" in plot
+        assert "error (m)" in plot
+
+    def test_better_system_reaches_one_earlier(self):
+        plot = render_cdf(
+            {"good": [1.0] * 50, "bad": [20.0] * 50}, width=40, height=10,
+            max_error=25.0,
+        )
+        lines = [l.strip() for l in plot.splitlines()]
+        top_row = next(l for l in lines if l.startswith("1.0 |"))
+        # The good system's mark saturates the top row well before bad's.
+        assert top_row.index("o") < top_row.index("x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf({})
+        with pytest.raises(ValueError):
+            render_cdf({"a": []})
+
+    def test_dimensions(self):
+        plot = render_cdf({"a": [1.0, 2.0]}, width=30, height=8)
+        body = [l for l in plot.splitlines() if l.strip().startswith(("1.0", "0."))]
+        assert len(body) == 8
+
+
+class TestSeries:
+    def test_renders_all_series(self):
+        plot = render_series(
+            [0.0, 10.0, 20.0],
+            {"wifi": [1.0, 2.0, 3.0], "gps": [None, None, 13.0]},
+        )
+        assert "o wifi" in plot
+        assert "x gps" in plot
+
+    def test_none_leaves_gaps(self):
+        plot = render_series([0.0, 10.0], {"gps": [None, 5.0]})
+        # Only one mark plotted.
+        assert sum(line.count("o") for line in plot.splitlines() if line.startswith("|")) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([0.0, 1.0], {"a": [1.0]})
+
+    def test_all_none_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([0.0], {"a": [None]})
+
+
+class TestBars:
+    def test_bar_lengths_proportional(self):
+        plot = render_bars({"a": 1.0, "b": 0.5}, width=20)
+        lines = plot.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        assert "0.50m" in render_bars({"x": 0.5}, unit="m")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars({})
+        with pytest.raises(ValueError):
+            render_bars({"a": 0.0})

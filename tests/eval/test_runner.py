@@ -1,0 +1,72 @@
+"""Tests for the walk runner and result aggregation."""
+
+import pytest
+
+from repro.eval import merge_results, run_walk
+from repro.eval.runner import WalkResult
+from repro.world import EnvironmentType as Env
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.eval import build_framework
+    from repro.eval.experiments import place_setup, shared_models
+
+    setup = place_setup("daily", 0)
+    models = shared_models(0)
+    walk, snaps = setup.record_walk("path1", walk_seed=0, trace_seed=1)
+    fw = build_framework(setup, models, walk.moments[0].position, scheme_seed=5)
+    return run_walk(fw, setup.place, "path1", walk, snaps)
+
+
+def test_one_record_per_step(result):
+    assert len(result.records) > 300
+
+
+def test_errors_per_estimator(result):
+    assert len(result.errors("uniloc2")) == len(result.records)
+    assert len(result.errors("wifi")) < len(result.records)  # basement gap
+    assert result.errors("nonexistent") == []
+
+
+def test_errors_in_environment(result):
+    basement = result.errors_in("cellular", Env.BASEMENT)
+    assert basement
+    assert all(e >= 0 for e in basement)
+
+
+def test_mean_error_raises_for_absent_estimator(result):
+    with pytest.raises(ValueError):
+        result.mean_error("nonexistent")
+
+
+def test_usage_shares_sum_to_one(result):
+    for selector in ("uniloc1", "optsel"):
+        usage = result.usage(selector)
+        assert sum(usage.values()) == pytest.approx(1.0)
+
+
+def test_usage_unknown_selector(result):
+    with pytest.raises(ValueError):
+        result.usage("coin_flip")
+
+
+def test_oracle_never_worse_than_any_scheme(result):
+    for record in result.records:
+        if record.oracle is not None and record.scheme_errors:
+            assert record.oracle.error <= min(record.scheme_errors.values()) + 1e-9
+
+
+def test_merge_results(result):
+    merged = merge_results([result, result])
+    assert len(merged.records) == 2 * len(result.records)
+    with pytest.raises(ValueError):
+        merge_results([])
+
+
+def test_gps_duty_cycle_bounded(result):
+    assert 0.0 <= result.gps_duty_cycle() <= 1.0
+
+
+def test_empty_result_duty_cycle():
+    assert WalkResult("p", "w").gps_duty_cycle() == 0.0

@@ -1,0 +1,60 @@
+"""Integration test of the paper's "Scalable" property.
+
+Error models trained in the office + open space must transfer to a
+place UniLoc never saw (the second office), with no retraining, and the
+ensemble must still behave sanely there.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import PlaceSetup, build_framework, run_walk
+from repro.eval.experiments import shared_models
+from repro.world import build_second_office_place
+
+
+@pytest.fixture(scope="module")
+def new_place_result():
+    models = shared_models(0)  # trained in office + open space only
+    setup = PlaceSetup.create(build_second_office_place(), seed=44)
+    walk, snaps = setup.record_walk("survey", walk_seed=3, trace_seed=4)
+    framework = build_framework(setup, models, walk.moments[0].position, scheme_seed=5)
+    return run_walk(framework, setup.place, "survey", walk, snaps)
+
+
+def test_ensemble_operates_without_retraining(new_place_result):
+    result = new_place_result
+    assert len(result.errors("uniloc2")) == len(result.records)
+    assert result.mean_error("uniloc2") < 6.0
+
+
+def test_ensemble_not_worse_than_typical_scheme(new_place_result):
+    result = new_place_result
+    scheme_means = [
+        result.mean_error(s)
+        for s in ("wifi", "cellular", "motion", "fusion")
+        if result.errors(s)
+    ]
+    assert result.mean_error("uniloc2") < float(np.median(scheme_means))
+
+
+def test_error_prediction_ranking_transfers(new_place_result):
+    """The paper's point: absolute predictions degrade in new places but
+    the *relative* ranking still separates good from bad schemes.  The
+    scheme with the lowest average predicted error must be among the two
+    actually-best schemes."""
+    result = new_place_result
+    predicted_sums, actual_sums, counts = {}, {}, {}
+    for record in result.records:
+        for name, predicted in record.decision.predicted_errors.items():
+            actual = record.scheme_errors.get(name)
+            if actual is None:
+                continue
+            predicted_sums[name] = predicted_sums.get(name, 0.0) + predicted
+            actual_sums[name] = actual_sums.get(name, 0.0) + actual
+            counts[name] = counts.get(name, 0) + 1
+    predicted_mean = {k: predicted_sums[k] / counts[k] for k in predicted_sums}
+    actual_mean = {k: actual_sums[k] / counts[k] for k in actual_sums}
+    best_predicted = min(predicted_mean, key=predicted_mean.get)
+    actually_best_two = sorted(actual_mean, key=actual_mean.get)[:2]
+    assert best_predicted in actually_best_two

@@ -1,0 +1,59 @@
+"""Tests for experiment setup."""
+
+import pytest
+
+from repro.eval import PlaceSetup, survey_points
+from repro.eval.experiments import place_setup
+from repro.world import build_daily_path_place
+
+
+@pytest.fixture(scope="module")
+def daily_setup():
+    return place_setup("daily", 0)
+
+
+def test_survey_spacing_by_context():
+    place = build_daily_path_place()
+    points = survey_points(place, "path1")
+    indoor = [p for p in points if place.is_indoor_at(p)]
+    outdoor = [p for p in points if not place.is_indoor_at(p)]
+    assert indoor and outdoor
+
+    def min_gap(pts):
+        return min(
+            a.distance_to(b) for a, b in zip(pts, pts[1:])
+        )
+
+    assert min_gap(indoor) >= 2.9
+    # Outdoor fingerprints are far sparser (paper: ~12 m).
+    assert min_gap(outdoor) >= 11.0
+
+
+def test_setup_surveys_both_radios(daily_setup):
+    assert len(daily_setup.wifi_db) > 20
+    assert len(daily_setup.cell_db) > 20
+
+
+def test_make_schemes_has_the_five(daily_setup):
+    walk, _ = daily_setup.record_walk("path1")
+    schemes = daily_setup.make_schemes(walk.moments[0].position)
+    assert set(schemes) == {"gps", "wifi", "cellular", "motion", "fusion"}
+
+
+def test_extractors_align_with_schemes(daily_setup):
+    extractors = daily_setup.make_extractors()
+    assert set(extractors) == {"gps", "wifi", "cellular", "motion", "fusion"}
+
+
+def test_record_walk_windows(daily_setup):
+    walk, snaps = daily_setup.record_walk(
+        "path1", start_arc=50.0, max_length=30.0
+    )
+    assert len(walk.moments) == len(snaps)
+    assert walk.moments[0].arc_length == 50.0
+    assert walk.length_m() - 50.0 == pytest.approx(30.0, abs=1e-6)
+
+
+def test_unknown_place_rejected():
+    with pytest.raises(ValueError):
+        place_setup("atlantis", 0)

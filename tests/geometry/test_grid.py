@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Grid, Point
+
+
+@pytest.fixture
+def grid():
+    return Grid(0.0, 0.0, 10.0, 6.0, cell_size=2.0)
+
+
+class TestConstruction:
+    def test_cell_count(self, grid):
+        assert grid.n_cells == 5 * 3
+        assert grid.shape == (3, 5)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            Grid(0, 0, 10, 10, cell_size=0.0)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Grid(5, 0, 5, 10, cell_size=1.0)
+
+    def test_centers_shape(self, grid):
+        assert grid.centers().shape == (15, 2)
+
+
+class TestIndexing:
+    def test_roundtrip_center(self, grid):
+        for idx in range(grid.n_cells):
+            center = grid.center_of(idx)
+            assert grid.index_of(center) == idx
+
+    def test_out_of_bounds_clamps(self, grid):
+        assert grid.index_of(Point(-100, -100)) == 0
+        assert grid.index_of(Point(100, 100)) == grid.n_cells - 1
+
+    def test_center_of_invalid_index(self, grid):
+        with pytest.raises(IndexError):
+            grid.center_of(grid.n_cells)
+        with pytest.raises(IndexError):
+            grid.center_of(-1)
+
+
+class TestGaussianPosterior:
+    def test_normalized(self, grid):
+        p = grid.gaussian_posterior(Point(5, 3), sigma=2.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_peak_at_mean(self, grid):
+        mean = Point(3, 3)
+        p = grid.gaussian_posterior(mean, sigma=1.5)
+        assert grid.center_of(int(np.argmax(p))).distance_to(mean) <= grid.cell_size
+
+    def test_sigma_floor_prevents_spike(self, grid):
+        p = grid.gaussian_posterior(Point(5, 3), sigma=0.0)
+        assert np.isfinite(p).all()
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_wider_sigma_flatter(self, grid):
+        narrow = grid.gaussian_posterior(Point(5, 3), sigma=1.0)
+        wide = grid.gaussian_posterior(Point(5, 3), sigma=10.0)
+        assert narrow.max() > wide.max()
+
+
+class TestHistogramPosterior:
+    def test_single_point_mass(self, grid):
+        p = grid.histogram_posterior(np.array([[5.0, 3.0]]))
+        idx = grid.index_of(Point(5, 3))
+        assert p[idx] == pytest.approx(1.0, abs=1e-6)
+
+    def test_weights_respected(self, grid):
+        points = np.array([[1.0, 1.0], [9.0, 5.0]])
+        p = grid.histogram_posterior(points, np.array([3.0, 1.0]))
+        heavy = grid.index_of(Point(1, 1))
+        light = grid.index_of(Point(9, 5))
+        assert p[heavy] == pytest.approx(0.75, abs=1e-6)
+        assert p[light] == pytest.approx(0.25, abs=1e-6)
+
+    def test_zero_weights_fall_back_to_uniform(self, grid):
+        p = grid.histogram_posterior(np.array([[5.0, 3.0]]), np.array([0.0]))
+        assert p.sum() == pytest.approx(1.0)
+        assert p.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_bad_shapes_raise(self, grid):
+        with pytest.raises(ValueError):
+            grid.histogram_posterior(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            grid.histogram_posterior(np.zeros((3, 2)), np.ones(2))
+
+
+class TestExpectedPoint:
+    def test_expected_point_of_spike(self, grid):
+        p = np.zeros(grid.n_cells)
+        p[7] = 1.0
+        assert grid.expected_point(p) == grid.center_of(7)
+
+    def test_expected_point_of_two_spikes(self, grid):
+        p = np.zeros(grid.n_cells)
+        a, b = grid.index_of(Point(1, 1)), grid.index_of(Point(9, 1))
+        p[a] = p[b] = 0.5
+        mid = grid.expected_point(p)
+        assert mid.x == pytest.approx((grid.center_of(a).x + grid.center_of(b).x) / 2)
+
+    def test_wrong_length_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.expected_point(np.ones(3))
+
+    def test_zero_mass_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.expected_point(np.zeros(grid.n_cells))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.floats(-50, 50),
+    y=st.floats(-50, 50),
+    sigma=st.floats(0.1, 30.0),
+)
+def test_gaussian_posterior_always_valid(x, y, sigma):
+    """Any mean (even far outside) yields a valid normalized posterior."""
+    grid = Grid(0.0, 0.0, 20.0, 20.0, cell_size=2.5)
+    p = grid.gaussian_posterior(Point(x, y), sigma)
+    assert np.isfinite(p).all()
+    assert p.sum() == pytest.approx(1.0, rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(-5, 25), st.floats(-5, 25)), min_size=1, max_size=40
+    )
+)
+def test_histogram_expected_point_inside_grid(points):
+    """The posterior mean of any sample cloud stays inside the grid box."""
+    grid = Grid(0.0, 0.0, 20.0, 20.0, cell_size=2.0)
+    p = grid.histogram_posterior(np.array(points))
+    mean = grid.expected_point(p)
+    assert 0.0 <= mean.x <= 20.0
+    assert 0.0 <= mean.y <= 20.0

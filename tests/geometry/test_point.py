@@ -1,0 +1,102 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, centroid
+from repro.geometry.point import ORIGIN
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, -1) == Point(4, 1)
+
+    def test_subtraction(self):
+        assert Point(1, 2) - Point(3, -1) == Point(-2, 3)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_division(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+
+
+class TestMetrics:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 0.5)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11.0
+
+    def test_cross_product_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_heading_east_is_zero(self):
+        assert Point(0, 0).heading_to(Point(5, 0)) == 0.0
+
+    def test_heading_north_is_half_pi(self):
+        assert Point(0, 0).heading_to(Point(0, 2)) == pytest.approx(math.pi / 2)
+
+
+class TestTransforms:
+    def test_normalized_has_unit_length(self):
+        assert Point(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            ORIGIN.normalized()
+
+    def test_rotation_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_rotation_preserves_norm(self):
+        p = Point(2.3, -4.1)
+        assert p.rotated(1.234).norm() == pytest.approx(p.norm())
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestCentroid:
+    def test_centroid_of_square_corners(self):
+        points = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(points) == Point(1, 1)
+
+    def test_centroid_single_point(self):
+        assert centroid([Point(3, 4)]) == Point(3, 4)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+def test_point_is_hashable_and_frozen():
+    p = Point(1, 2)
+    assert hash(p) == hash(Point(1, 2))
+    with pytest.raises(Exception):
+        p.x = 5

@@ -1,0 +1,67 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import pytest
+
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture
+def unit_square():
+    return Polygon.rectangle(0, 0, 2, 2)
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon((Point(0, 0), Point(1, 1)))
+
+    def test_rectangle_corner_order_normalized(self):
+        poly = Polygon.rectangle(5, 5, 0, 0)
+        assert poly.bounding_box() == (0, 0, 5, 5)
+
+    def test_from_coords(self):
+        poly = Polygon.from_coords([(0, 0), (1, 0), (0, 1)])
+        assert len(poly.vertices) == 3
+
+
+class TestMeasures:
+    def test_square_area(self, unit_square):
+        assert unit_square.area() == 4.0
+
+    def test_triangle_area(self):
+        tri = Polygon.from_coords([(0, 0), (4, 0), (0, 3)])
+        assert tri.area() == 6.0
+
+    def test_centroid_of_square(self, unit_square):
+        assert unit_square.centroid() == Point(1, 1)
+
+    def test_edges_close_the_loop(self, unit_square):
+        edges = unit_square.edges()
+        assert len(edges) == 4
+        assert edges[-1].end == unit_square.vertices[0]
+
+
+class TestContainment:
+    def test_interior_point(self, unit_square):
+        assert unit_square.contains(Point(1, 1))
+
+    def test_exterior_point(self, unit_square):
+        assert not unit_square.contains(Point(3, 1))
+
+    def test_boundary_point_counts_inside(self, unit_square):
+        assert unit_square.contains(Point(0, 1))
+        assert unit_square.contains(Point(2, 2))
+
+    def test_concave_polygon(self):
+        # A U-shape: the notch interior is outside.
+        poly = Polygon.from_coords(
+            [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)]
+        )
+        assert poly.contains(Point(1, 3))
+        assert poly.contains(Point(5, 3))
+        assert not poly.contains(Point(3, 3.5))
+        assert poly.contains(Point(3, 1))
+
+    def test_bounding_box(self):
+        poly = Polygon.from_coords([(1, 2), (5, -1), (3, 7)])
+        assert poly.bounding_box() == (1, -1, 5, 7)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.geometry.polyline."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Polyline
+
+
+@pytest.fixture
+def l_shape():
+    # 10 m east then 10 m north.
+    return Polyline.from_coords([(0, 0), (10, 0), (10, 10)])
+
+
+class TestConstruction:
+    def test_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            Polyline((Point(0, 0),))
+
+    def test_length(self, l_shape):
+        assert l_shape.length() == 20.0
+
+    def test_segments_count(self, l_shape):
+        assert len(l_shape.segments()) == 2
+
+
+class TestParametrization:
+    def test_point_at_zero_is_start(self, l_shape):
+        assert l_shape.point_at_distance(0.0) == Point(0, 0)
+
+    def test_point_at_corner(self, l_shape):
+        assert l_shape.point_at_distance(10.0) == Point(10, 0)
+
+    def test_point_on_second_segment(self, l_shape):
+        assert l_shape.point_at_distance(15.0) == Point(10, 5)
+
+    def test_clamps_past_end(self, l_shape):
+        assert l_shape.point_at_distance(999.0) == Point(10, 10)
+
+    def test_clamps_negative(self, l_shape):
+        assert l_shape.point_at_distance(-5.0) == Point(0, 0)
+
+    def test_heading_changes_at_corner(self, l_shape):
+        assert l_shape.heading_at_distance(5.0) == pytest.approx(0.0)
+        assert l_shape.heading_at_distance(15.0) == pytest.approx(math.pi / 2)
+
+
+class TestProjection:
+    def test_project_onto_first_segment(self, l_shape):
+        assert l_shape.project(Point(3, 1)) == pytest.approx(3.0)
+
+    def test_project_onto_second_segment(self, l_shape):
+        assert l_shape.project(Point(11, 4)) == pytest.approx(14.0)
+
+    def test_distance_to_point(self, l_shape):
+        assert l_shape.distance_to_point(Point(5, 3)) == pytest.approx(3.0)
+
+
+class TestSampling:
+    def test_sample_every_spacing(self, l_shape):
+        samples = l_shape.sample_every(5.0)
+        # 0, 5, 10, 15 plus the final vertex.
+        assert len(samples) == 5
+        assert samples[0] == Point(0, 0)
+        assert samples[-1] == Point(10, 10)
+
+    def test_sample_consecutive_distances(self, l_shape):
+        samples = l_shape.sample_every(2.0)
+        for a, b in zip(samples[:-2], samples[1:-1]):
+            assert a.distance_to(b) == pytest.approx(2.0, abs=1e-6)
+
+    def test_sample_invalid_spacing_raises(self, l_shape):
+        with pytest.raises(ValueError):
+            l_shape.sample_every(0.0)
+
+
+class TestTurns:
+    def test_right_angle_turn_detected(self, l_shape):
+        turns = l_shape.turn_points(min_angle=math.radians(45))
+        assert len(turns) == 1
+        arc, point = turns[0]
+        assert arc == pytest.approx(10.0)
+        assert point == Point(10, 0)
+
+    def test_gentle_bend_not_detected(self):
+        line = Polyline.from_coords([(0, 0), (10, 0), (20, 1)])
+        assert line.turn_points(min_angle=math.radians(30)) == []

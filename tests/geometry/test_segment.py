@@ -1,0 +1,103 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Segment, heading_difference, wrap_angle
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+    def test_direction_is_unit(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.direction() == Point(1, 0)
+
+    def test_direction_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Segment(Point(1, 1), Point(1, 1)).direction()
+
+    def test_heading(self):
+        assert Segment(Point(0, 0), Point(0, 5)).heading() == pytest.approx(math.pi / 2)
+
+    def test_point_at_midpoint(self):
+        seg = Segment(Point(0, 0), Point(4, 0))
+        assert seg.point_at(0.5) == Point(2, 0)
+        assert seg.midpoint() == Point(2, 0)
+
+
+class TestProjection:
+    def test_projection_inside(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.project_parameter(Point(3, 5)) == pytest.approx(0.3)
+
+    def test_projection_unclamped_outside(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.project_parameter(Point(15, 0)) == pytest.approx(1.5)
+
+    def test_closest_point_clamps_to_endpoint(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.closest_point(Point(-5, 3)) == Point(0, 0)
+
+    def test_distance_perpendicular(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.distance_to_point(Point(5, 7)) == pytest.approx(7.0)
+
+    def test_degenerate_segment_distance(self):
+        seg = Segment(Point(2, 2), Point(2, 2))
+        assert seg.distance_to_point(Point(5, 6)) == 5.0
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.intersects(b)
+
+    def test_parallel_non_collinear(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert not a.intersects(b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0), Point(15, 0))
+        assert a.intersects(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(5, 0), Point(9, 0))
+        assert not a.intersects(b)
+
+    def test_endpoint_touch_counts(self):
+        a = Segment(Point(0, 0), Point(5, 5))
+        b = Segment(Point(5, 5), Point(9, 0))
+        assert a.intersects(b)
+
+    def test_near_miss(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0.01), Point(5, 10))
+        assert not a.intersects(b)
+
+
+class TestAngles:
+    def test_heading_difference_wraps(self):
+        a = math.radians(179)
+        b = math.radians(-179)
+        assert heading_difference(a, b) == pytest.approx(math.radians(2))
+
+    def test_heading_difference_symmetric(self):
+        assert heading_difference(0.3, 1.2) == pytest.approx(heading_difference(1.2, 0.3))
+
+    def test_heading_difference_max_is_pi(self):
+        assert heading_difference(0.0, math.pi) == pytest.approx(math.pi)
+
+    def test_wrap_angle_range(self):
+        for angle in [-10.0, -math.pi, 0.0, math.pi, 10.0, 123.4]:
+            wrapped = wrap_angle(angle)
+            assert -math.pi < wrapped <= math.pi
+            # Same direction modulo 2 pi.
+            assert math.cos(wrapped) == pytest.approx(math.cos(angle), abs=1e-9)
+            assert math.sin(wrapped) == pytest.approx(math.sin(angle), abs=1e-9)

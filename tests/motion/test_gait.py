@@ -1,0 +1,43 @@
+"""Tests for gait profiles."""
+
+import numpy as np
+import pytest
+
+from repro.motion import DEFAULT_GAIT, GaitProfile, subject_pool
+
+
+def test_default_gait_valid():
+    assert 0.4 <= DEFAULT_GAIT.step_period_s <= 0.7
+
+
+def test_period_outside_band_rejected():
+    with pytest.raises(ValueError):
+        GaitProfile("x", 0.7, 0.3)
+    with pytest.raises(ValueError):
+        GaitProfile("x", 0.7, 0.8)
+
+
+def test_trembling_range_enforced():
+    with pytest.raises(ValueError):
+        GaitProfile("x", 0.7, 0.5, trembling=1.5)
+
+
+def test_step_length_positive():
+    with pytest.raises(ValueError):
+        GaitProfile("x", -0.1, 0.5)
+
+
+def test_draw_step_length_positive_and_near_mean():
+    gait = GaitProfile("x", 0.7, 0.5, step_length_cv=0.05)
+    rng = np.random.default_rng(0)
+    draws = [gait.draw_step_length(rng) for _ in range(500)]
+    assert min(draws) > 0
+    assert np.mean(draws) == pytest.approx(0.7, abs=0.02)
+
+
+def test_six_subjects_with_diverse_gaits():
+    subjects = subject_pool()
+    assert len(subjects) == 6
+    lengths = {s.step_length_m for s in subjects}
+    assert len(lengths) == 6
+    assert any(s.trembling > 0.14 for s in subjects)  # older subjects shake more

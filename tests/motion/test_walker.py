@@ -1,0 +1,63 @@
+"""Tests for ground-truth walk generation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Polyline
+from repro.motion import DEFAULT_GAIT, generate_walk
+
+
+@pytest.fixture
+def line():
+    return Polyline.from_coords([(0, 0), (100, 0)])
+
+
+def test_walk_covers_the_path(line):
+    walk = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(0))
+    assert walk.length_m() == pytest.approx(100.0, abs=1e-6)
+    assert walk.moments[-1].position.x == pytest.approx(100.0)
+
+
+def test_arc_length_monotone(line):
+    walk = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(1))
+    arcs = [m.arc_length for m in walk.moments]
+    assert all(b > a for a, b in zip(arcs, arcs[1:]))
+
+
+def test_time_monotone_and_plausible(line):
+    walk = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(2))
+    times = [m.time_s for m in walk.moments]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    # ~0.5 s per step, ~0.7 m per step: around 70 s for 100 m.
+    assert 50 < walk.duration_s() < 110
+
+
+def test_positions_lie_on_polyline(line):
+    walk = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(3))
+    for moment in walk.moments:
+        assert line.distance_to_point(moment.position) < 1e-6
+
+
+def test_start_arc_and_max_length(line):
+    walk = generate_walk(
+        line, DEFAULT_GAIT, np.random.default_rng(4), start_arc=20.0, max_length=30.0
+    )
+    assert walk.moments[0].arc_length == 20.0
+    assert walk.moments[-1].arc_length == pytest.approx(50.0, abs=1e-6)
+
+
+def test_start_past_end_rejected(line):
+    with pytest.raises(ValueError):
+        generate_walk(line, DEFAULT_GAIT, np.random.default_rng(5), start_arc=200.0)
+
+
+def test_first_moment_has_no_step(line):
+    walk = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(6))
+    assert walk.moments[0].step_length == 0.0
+    assert walk.moments[0].time_s == 0.0
+
+
+def test_reproducible_with_seed(line):
+    a = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(7))
+    b = generate_walk(line, DEFAULT_GAIT, np.random.default_rng(7))
+    assert [m.position for m in a.moments] == [m.position for m in b.moments]

@@ -1,0 +1,79 @@
+"""Tests for RadioEnvironment: audibility per environment."""
+
+import numpy as np
+import pytest
+
+from repro.radio import RadioEnvironment
+from repro.world import EnvironmentType as Env
+from repro.world import build_daily_path_place
+
+
+@pytest.fixture(scope="module")
+def radio():
+    return RadioEnvironment.deploy(build_daily_path_place(), seed=3)
+
+
+def _point_in(radio, env):
+    place = radio.place
+    path = place.paths["path1"]
+    for s in range(0, int(path.length()), 2):
+        p = path.polyline.point_at_distance(float(s))
+        if place.environment_at(p) is env:
+            # Mid-segment point, away from transitions.
+            return path.polyline.point_at_distance(float(s) + 15.0)
+    raise AssertionError(f"no point found in {env}")
+
+
+def test_office_hears_several_aps(radio):
+    p = _point_in(radio, Env.OFFICE)
+    assert len(radio.wifi_mean_rssi(p)) >= 2
+
+
+def test_basement_hears_no_wifi(radio):
+    p = _point_in(radio, Env.BASEMENT)
+    assert radio.wifi_mean_rssi(p) == {}
+
+
+def test_basement_tower_cap(radio):
+    p = _point_in(radio, Env.BASEMENT)
+    assert 0 < len(radio.cell_mean_rssi(p)) <= 2
+
+
+def test_open_space_hears_many_towers(radio):
+    p = _point_in(radio, Env.OPEN_SPACE)
+    assert len(radio.cell_mean_rssi(p)) >= 5
+
+
+def test_gps_visibility_indoor_vs_outdoor(radio):
+    indoor = _point_in(radio, Env.OFFICE)
+    outdoor = _point_in(radio, Env.OPEN_SPACE)
+    assert radio.visible_satellites(indoor) == []
+    assert len(radio.visible_satellites(outdoor)) >= 9
+    assert radio.hdop(outdoor) < 2.0
+    assert radio.hdop(indoor) == float("inf")
+
+
+def test_noisy_scan_differs_from_mean(radio):
+    p = _point_in(radio, Env.OFFICE)
+    rng = np.random.default_rng(0)
+    scan = radio.wifi_rssi(p, rng)
+    mean = radio.wifi_mean_rssi(p)
+    assert any(abs(scan[k] - mean[k]) > 0.01 for k in scan if k in mean)
+
+
+def test_survey_skips_silent_points(radio):
+    place = radio.place
+    path = place.paths["path1"]
+    points = [path.polyline.point_at_distance(float(s)) for s in range(0, 320, 3)]
+    rng = np.random.default_rng(1)
+    db = radio.survey_wifi(points, rng)
+    assert 0 < len(db) < len(points)  # basement points dropped
+
+
+def test_surveys_reproducible(radio):
+    place = radio.place
+    path = place.paths["path1"]
+    points = [path.polyline.point_at_distance(float(s)) for s in range(0, 100, 5)]
+    a = radio.survey_wifi(points, np.random.default_rng(9))
+    b = radio.survey_wifi(points, np.random.default_rng(9))
+    assert [e.rssi for e in a.entries] == [e.rssi for e in b.entries]

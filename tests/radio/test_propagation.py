@@ -1,0 +1,82 @@
+"""Unit tests for the RF propagation model."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.radio import CELLULAR_MODEL, WIFI_MODEL, PropagationModel
+
+
+@pytest.fixture
+def model():
+    return PropagationModel(
+        tx_power_dbm=20.0,
+        pl0_db=40.0,
+        exponent=3.0,
+        wall_loss_db=5.0,
+        shadowing_sigma_db=4.0,
+        shadowing_scale_m=10.0,
+    )
+
+
+class TestPathLoss:
+    def test_reference_distance_loss(self, model):
+        assert model.path_loss_db(1.0) == 40.0
+
+    def test_loss_increases_with_distance(self, model):
+        assert model.path_loss_db(10.0) > model.path_loss_db(2.0)
+
+    def test_decade_slope(self, model):
+        assert model.path_loss_db(10.0) - model.path_loss_db(1.0) == pytest.approx(30.0)
+
+    def test_sub_reference_distance_clamped(self, model):
+        assert model.path_loss_db(0.01) == model.path_loss_db(1.0)
+
+    def test_wall_loss_added_per_wall(self, model):
+        clear = model.path_loss_db(5.0, walls=0)
+        blocked = model.path_loss_db(5.0, walls=3)
+        assert blocked - clear == pytest.approx(15.0)
+
+
+class TestShadowing:
+    def test_deterministic_per_seed(self, model):
+        p = Point(3.3, 4.4)
+        assert model.shadowing_db(p, 42) == model.shadowing_db(p, 42)
+
+    def test_different_seeds_differ(self, model):
+        p = Point(3.3, 4.4)
+        assert model.shadowing_db(p, 1) != model.shadowing_db(p, 2)
+
+    def test_spatially_smooth(self, model):
+        a = model.shadowing_db(Point(5, 5), 7)
+        b = model.shadowing_db(Point(5.1, 5), 7)
+        assert abs(a - b) < 0.5  # a 10 cm move cannot jump the field
+
+    def test_varies_over_correlation_length(self, model):
+        values = {round(model.shadowing_db(Point(x, 0.0), 7), 3) for x in range(0, 100, 7)}
+        assert len(values) > 5
+
+    def test_zero_sigma_disables(self):
+        flat = PropagationModel(20, 40, 3.0, 5.0, 0.0, 10.0)
+        assert flat.shadowing_db(Point(1, 2), 9) == 0.0
+
+    def test_amplitude_bounded(self, model):
+        worst = max(
+            abs(model.shadowing_db(Point(x * 0.37, x * 0.71), 5)) for x in range(200)
+        )
+        # Six unit sinusoids scaled by sigma/sqrt(3): bounded by ~3.5 sigma.
+        assert worst < 3.5 * model.shadowing_sigma_db
+
+
+class TestInversion:
+    def test_distance_for_rssi_inverts_mean(self, model):
+        flat = PropagationModel(20, 40, 3.0, 5.0, 0.0, 10.0)
+        for d in [2.0, 10.0, 50.0]:
+            rssi = flat.mean_rssi_dbm(Point(0, 0), Point(d, 0))
+            assert flat.distance_for_rssi(rssi) == pytest.approx(d, rel=1e-6)
+
+
+def test_builtin_models_sane():
+    assert CELLULAR_MODEL.tx_power_dbm > WIFI_MODEL.tx_power_dbm
+    assert CELLULAR_MODEL.shadowing_scale_m > WIFI_MODEL.shadowing_scale_m

@@ -1,0 +1,99 @@
+"""Unit tests for the GPS constellation."""
+
+import math
+
+import pytest
+
+from repro.radio import (
+    ELEVATION_MASK_DEG,
+    MIN_SATELLITES_FOR_FIX,
+    Constellation,
+    Satellite,
+)
+
+
+@pytest.fixture
+def sky():
+    return Constellation.default(seed=7)
+
+
+class TestVisibility:
+    def test_full_sky_view_sees_all_above_mask(self, sky):
+        assert len(sky.visible(1.0)) == len(sky.above_mask())
+
+    def test_zero_sky_view_sees_none(self, sky):
+        assert sky.visible(0.0) == []
+
+    def test_partial_view_prefers_high_elevation(self, sky):
+        visible = sky.visible(0.5)
+        hidden = [s for s in sky.above_mask() if s not in visible]
+        if visible and hidden:
+            min_visible = min(s.elevation_deg for s in visible)
+            max_hidden = max(s.elevation_deg for s in hidden)
+            assert min_visible >= max_hidden
+
+    def test_invalid_sky_view_raises(self, sky):
+        with pytest.raises(ValueError):
+            sky.visible(1.5)
+
+    def test_elevation_mask_enforced(self, sky):
+        for sat in sky.above_mask():
+            assert sat.elevation_deg >= ELEVATION_MASK_DEG
+
+
+class TestHdop:
+    def test_too_few_satellites_is_infinite(self, sky):
+        assert Constellation.hdop(sky.above_mask()[:3]) == float("inf")
+
+    def test_good_geometry_hdop_near_one(self):
+        """Well-spread satellites at mixed elevations give low HDOP.
+
+        (Four satellites at identical elevation are a classic degenerate
+        geometry — the clock column aliases the up column — so the good
+        set must vary elevation.)
+        """
+        sats = [
+            Satellite(1, 0, 70),
+            Satellite(2, 90, 30),
+            Satellite(3, 180, 45),
+            Satellite(4, 270, 20),
+        ]
+        hdop = Constellation.hdop(sats)
+        assert 0.5 < hdop < 3.0
+
+    def test_identical_elevations_are_degenerate(self):
+        """Same-elevation rings are rank deficient: HDOP is infinite."""
+        sats = [Satellite(i, az, 45) for i, az in enumerate((0, 90, 180, 270))]
+        assert Constellation.hdop(sats) == float("inf")
+
+    def test_clustered_geometry_worse_than_spread(self):
+        spread = [
+            Satellite(1, 0, 70),
+            Satellite(2, 90, 30),
+            Satellite(3, 180, 45),
+            Satellite(4, 270, 20),
+        ]
+        clustered = [
+            Satellite(1, 0, 45),
+            Satellite(2, 10, 50),
+            Satellite(3, 20, 40),
+            Satellite(4, 30, 45),
+        ]
+        assert Constellation.hdop(clustered) > Constellation.hdop(spread)
+
+    def test_more_satellites_do_not_hurt(self, sky):
+        few = Constellation.hdop(sky.above_mask()[:MIN_SATELLITES_FOR_FIX])
+        all_sats = Constellation.hdop(sky.above_mask())
+        assert all_sats <= few + 1e-9
+
+    def test_open_sky_matches_paper_regime(self, sky):
+        """The paper measured ~10.9 visible satellites and HDOP ~0.9."""
+        visible = sky.visible(1.0)
+        assert len(visible) >= 9
+        assert Constellation.hdop(visible) < 1.5
+
+
+def test_unit_vector_is_unit():
+    sat = Satellite(1, azimuth_deg=123.0, elevation_deg=34.0)
+    vec = sat.unit_vector()
+    assert math.isclose(float((vec**2).sum()), 1.0, rel_tol=1e-9)

@@ -1,0 +1,38 @@
+"""Shared fixtures for scheme tests: a deployed daily-path world."""
+
+import numpy as np
+import pytest
+
+from repro.motion import DEFAULT_GAIT, generate_walk
+from repro.radio import RadioEnvironment
+from repro.sensors import NEXUS_5X, Smartphone
+from repro.world import build_daily_path_place
+
+
+@pytest.fixture(scope="package")
+def daily_world():
+    """Place, radio, databases, one recorded walk — shared by scheme tests."""
+    place = build_daily_path_place()
+    radio = RadioEnvironment.deploy(place, seed=3)
+    path = place.paths["path1"]
+    rng = np.random.default_rng(10)
+    points = []
+    last = None
+    for s in np.arange(0.0, path.length(), 1.0):
+        p = path.polyline.point_at_distance(float(s))
+        spacing = 3.0 if place.is_indoor_at(p) else 12.0
+        if last is None or p.distance_to(last) >= spacing - 1e-9:
+            points.append(p)
+            last = p
+    wifi_db = radio.survey_wifi(points, rng)
+    cell_db = radio.survey_cellular(points, rng)
+    walk = generate_walk(path.polyline, DEFAULT_GAIT, np.random.default_rng(0))
+    snaps = Smartphone(radio, NEXUS_5X).record_walk(walk, seed=1)
+    return {
+        "place": place,
+        "radio": radio,
+        "wifi_db": wifi_db,
+        "cell_db": cell_db,
+        "walk": walk,
+        "snaps": snaps,
+    }

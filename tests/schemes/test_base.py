@@ -1,0 +1,68 @@
+"""Tests for SchemeOutput posterior rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid, Point
+from repro.schemes import SchemeOutput
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 40, 40, cell_size=2.0)
+
+
+def test_gaussian_posterior_mean_at_estimate(grid):
+    out = SchemeOutput(position=Point(11, 23), spread=3.0)
+    posterior = out.grid_posterior(grid)
+    mean = grid.expected_point(posterior)
+    assert mean.distance_to(Point(11, 23)) < 1.5
+
+
+def test_particles_take_precedence(grid):
+    samples = np.array([[5.0, 5.0]] * 10)
+    out = SchemeOutput(position=Point(30, 30), spread=3.0, samples=samples)
+    posterior = out.grid_posterior(grid)
+    mean = grid.expected_point(posterior)
+    assert mean.distance_to(Point(5, 5)) < 1.5
+
+
+def test_candidates_excluded_from_bma_posterior(grid):
+    """Candidates must not drag the BMA contribution off the estimate."""
+    out = SchemeOutput(
+        position=Point(5, 5),
+        spread=2.0,
+        candidates=[(Point(5, 5), 1.0), (Point(35, 35), 0.9)],
+    )
+    mean = grid.expected_point(out.grid_posterior(grid))
+    assert mean.distance_to(Point(5, 5)) < 2.0
+
+
+def test_candidate_posterior_is_multimodal(grid):
+    out = SchemeOutput(
+        position=Point(5, 5),
+        spread=2.0,
+        candidates=[(Point(5, 5), 1.0), (Point(35, 35), 1.0)],
+    )
+    posterior = out.candidate_posterior(grid)
+    mean = grid.expected_point(posterior)
+    # Equal-weight bimodal posterior: mean lands between the modes.
+    assert mean.distance_to(Point(20, 20)) < 3.0
+
+
+def test_candidate_posterior_none_without_candidates(grid):
+    out = SchemeOutput(position=Point(5, 5), spread=2.0)
+    assert out.candidate_posterior(grid) is None
+
+
+def test_posteriors_normalized(grid):
+    for out in (
+        SchemeOutput(position=Point(11, 23), spread=3.0),
+        SchemeOutput(position=Point(0, 0), spread=0.0),
+        SchemeOutput(
+            position=Point(1, 1),
+            spread=1.0,
+            samples=np.array([[1.0, 1.0], [2.0, 2.0]]),
+        ),
+    ):
+        assert out.grid_posterior(grid).sum() == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for Zee-style start bootstrapping."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.radio import Fingerprint, FingerprintDatabase
+from repro.schemes import ZeeBootstrap, bootstrap_start
+from tests.schemes.test_fingerprinting import make_snapshot
+
+
+@pytest.fixture
+def db():
+    return FingerprintDatabase(
+        [
+            Fingerprint(Point(0, 0), {"a": -40.0, "b": -70.0}),
+            Fingerprint(Point(20, 0), {"a": -70.0, "b": -40.0}),
+            Fingerprint(Point(40, 0), {"a": -85.0, "b": -60.0}),
+        ]
+    )
+
+
+def test_bootstrap_near_matching_fingerprint(db):
+    snaps = [make_snapshot(wifi={"a": -41.0, "b": -69.0}, index=i) for i in range(5)]
+    start = bootstrap_start(db, snaps)
+    assert start is not None
+    assert start.position.distance_to(Point(0, 0)) < 10.0
+    assert start.n_scans_used == 5
+
+
+def test_no_wifi_no_start(db):
+    snaps = [make_snapshot(index=i) for i in range(5)]
+    assert bootstrap_start(db, snaps) is None
+
+
+def test_ready_after_n_scans(db):
+    zee = ZeeBootstrap(db, n_scans=3)
+    assert not zee.is_ready
+    for i in range(3):
+        zee.observe(make_snapshot(wifi={"a": -45.0}, index=i))
+    assert zee.is_ready
+
+
+def test_spread_reflects_ambiguity(db):
+    """Scans matching two distant fingerprints produce a large spread."""
+    confident = ZeeBootstrap(db)
+    ambiguous = ZeeBootstrap(db)
+    for i in range(5):
+        confident.observe(make_snapshot(wifi={"a": -40.0, "b": -70.0}, index=i))
+        ambiguous.observe(make_snapshot(wifi={"a": -55.0, "b": -55.0}, index=i))
+    assert ambiguous.estimate().spread > confident.estimate().spread
+
+
+def test_reset(db):
+    zee = ZeeBootstrap(db, n_scans=1)
+    zee.observe(make_snapshot(wifi={"a": -40.0}))
+    zee.reset()
+    assert not zee.is_ready
+    assert zee.estimate() is None
+
+
+def test_invalid_params(db):
+    with pytest.raises(ValueError):
+        ZeeBootstrap(db, n_scans=0)

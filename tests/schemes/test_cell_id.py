@@ -1,0 +1,53 @@
+"""Tests for the cell-ID baseline scheme."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.radio import Fingerprint, FingerprintDatabase
+from repro.schemes import CellIdScheme
+from tests.schemes.test_fingerprinting import make_snapshot
+
+
+@pytest.fixture
+def db():
+    return FingerprintDatabase(
+        [
+            Fingerprint(Point(0, 0), {"t1": -60.0, "t2": -80.0}),
+            Fingerprint(Point(10, 0), {"t1": -62.0, "t2": -78.0}),
+            Fingerprint(Point(100, 0), {"t1": -85.0, "t2": -55.0}),
+            Fingerprint(Point(110, 0), {"t1": -88.0, "t2": -58.0}),
+        ]
+    )
+
+
+def test_estimate_is_region_centroid(db):
+    scheme = CellIdScheme(db)
+    out = scheme.estimate(make_snapshot(cell={"t1": -61.0, "t2": -79.0}))
+    assert out.position == Point(5, 0)  # centroid of the t1 region
+
+
+def test_other_serving_cell(db):
+    scheme = CellIdScheme(db)
+    out = scheme.estimate(make_snapshot(cell={"t1": -90.0, "t2": -50.0}))
+    assert out.position == Point(105, 0)
+
+
+def test_unavailable_without_scan(db):
+    assert CellIdScheme(db).estimate(make_snapshot()) is None
+
+
+def test_spread_reflects_region_size(db):
+    scheme = CellIdScheme(db)
+    out = scheme.estimate(make_snapshot(cell={"t1": -61.0}))
+    assert out.spread >= 5.0  # region spans 10 m
+
+
+def test_unknown_tower_unavailable(db):
+    scheme = CellIdScheme(db)
+    assert scheme.estimate(make_snapshot(cell={"t99": -50.0})) is None
+
+
+def test_empty_survey_rejected():
+    db = FingerprintDatabase([Fingerprint(Point(0, 0), {})])
+    with pytest.raises(ValueError):
+        CellIdScheme(db)

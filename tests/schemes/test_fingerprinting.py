@@ -1,0 +1,121 @@
+"""Tests for RADAR-style fingerprinting schemes."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.radio import Fingerprint, FingerprintDatabase
+from repro.schemes import CellularScheme, HorusScheme, RadarScheme
+from repro.schemes.fingerprinting import CONTINUITY_ESCAPE_DB
+from repro.sensors.gps import GpsStatus
+from repro.sensors.imu import ImuReading
+from repro.sensors.snapshot import SensorSnapshot
+
+
+def make_snapshot(wifi=None, cell=None, index=0):
+    return SensorSnapshot(
+        index=index,
+        time_s=index * 0.5,
+        wifi_scan=wifi or {},
+        cell_scan=cell or {},
+        gps=GpsStatus(0, float("inf"), None),
+        imu=ImuReading((), 0.0, 0.0, 0.0, 2.0),
+        light_lux=300.0,
+        detected_landmarks=(),
+    )
+
+
+@pytest.fixture
+def db():
+    return FingerprintDatabase(
+        [
+            Fingerprint(Point(0, 0), {"a": -40.0, "b": -70.0}),
+            Fingerprint(Point(10, 0), {"a": -55.0, "b": -55.0}),
+            Fingerprint(Point(20, 0), {"a": -70.0, "b": -40.0}),
+            Fingerprint(Point(100, 0), {"a": -90.0, "b": -30.0}),
+        ]
+    )
+
+
+class TestRadar:
+    def test_exact_fingerprint_recovered(self, db):
+        scheme = RadarScheme(db)
+        out = scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        assert out.position == Point(0, 0)
+
+    def test_empty_scan_unavailable(self, db):
+        scheme = RadarScheme(db)
+        assert scheme.estimate(make_snapshot(wifi={})) is None
+
+    def test_quality_exposes_features(self, db):
+        scheme = RadarScheme(db)
+        out = scheme.estimate(make_snapshot(wifi={"a": -50.0, "b": -60.0}))
+        assert "candidate_deviation" in out.quality
+        assert out.quality["n_sources"] == 2.0
+
+    def test_candidates_sorted_by_weight(self, db):
+        scheme = RadarScheme(db)
+        out = scheme.estimate(make_snapshot(wifi={"a": -41.0, "b": -69.0}))
+        weights = [w for _, w in out.candidates]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_wifi_scheme_ignores_cell_scan(self, db):
+        scheme = RadarScheme(db)
+        assert scheme.estimate(make_snapshot(cell={"t": -80.0})) is None
+
+
+class TestContinuity:
+    def test_window_prevents_teleport(self, db):
+        """After matching near x=0, a marginally-better distant match is
+        rejected in favor of a nearby one."""
+        scheme = RadarScheme(db, continuity_radius_m=30.0)
+        scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        # This scan is closest to the fingerprint at x=100 by a hair, but
+        # the window keeps the estimate local.
+        out = scheme.estimate(make_snapshot(wifi={"a": -72.0, "b": -39.0}))
+        assert out.position.x <= 30.0
+
+    def test_escape_hatch_reacquires(self, db):
+        """A scan overwhelmingly matching a distant fingerprint escapes."""
+        scheme = RadarScheme(db, continuity_radius_m=30.0)
+        scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        out = scheme.estimate(make_snapshot(wifi={"a": -90.0, "b": -30.0}))
+        assert out.position == Point(100, 0)
+
+    def test_reset_clears_anchor(self, db):
+        scheme = RadarScheme(db, continuity_radius_m=30.0)
+        scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        scheme.reset()
+        assert scheme._last_position is None
+
+    def test_disabled_window_matches_globally(self, db):
+        scheme = RadarScheme(db, continuity_radius_m=None)
+        scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        out = scheme.estimate(make_snapshot(wifi={"a": -88.0, "b": -31.0}))
+        assert out.position == Point(100, 0)
+
+
+class TestCellular:
+    def test_uses_cell_scan(self, db):
+        scheme = CellularScheme(db)
+        out = scheme.estimate(make_snapshot(cell={"a": -40.0, "b": -70.0}))
+        assert out is not None
+        assert out.position == Point(0, 0)
+
+
+class TestHorus:
+    def test_matches_exact_fingerprint(self, db):
+        scheme = HorusScheme(db)
+        out = scheme.estimate(make_snapshot(wifi={"a": -40.0, "b": -70.0}))
+        assert out.position == Point(0, 0)
+
+    def test_sigma_validated(self, db):
+        with pytest.raises(ValueError):
+            HorusScheme(db, sigma_db=0.0)
+
+    def test_empty_scan_unavailable(self, db):
+        assert HorusScheme(db).estimate(make_snapshot()) is None
+
+
+def test_invalid_k_rejected(db):
+    with pytest.raises(ValueError):
+        RadarScheme(db, k=0)

@@ -1,0 +1,54 @@
+"""Tests for the full Gaussian Horus scheme."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import GaussianHorusScheme, RadarScheme
+from tests.schemes.test_fingerprinting import make_snapshot
+from tests.radio.test_gaussian_fingerprint import make_db
+
+
+def test_matches_surveyed_location():
+    scheme = GaussianHorusScheme(make_db())
+    out = scheme.estimate(make_snapshot(wifi={"a": -40.2, "b": -69.8}))
+    assert out is not None
+    assert out.position.x == pytest.approx(0.0)
+
+
+def test_unavailable_without_scan():
+    assert GaussianHorusScheme(make_db()).estimate(make_snapshot()) is None
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        GaussianHorusScheme(make_db(), k=0)
+
+
+def test_horus_outperforms_radar_under_heavy_noise(daily_world):
+    """With noisy scans, the learned per-AP distributions help matching.
+
+    This is Horus's raison d'etre: temporal variation handling.  We run
+    both schemes over the office segment of the daily walk using a
+    multi-sample Gaussian survey vs. the single-sample RADAR database.
+    """
+    place = daily_world["place"]
+    radio = daily_world["radio"]
+    walk, snaps = daily_world["walk"], daily_world["snaps"]
+    path = place.paths["path1"]
+    rng = np.random.default_rng(77)
+    points = [path.polyline.point_at_distance(float(s)) for s in range(0, 110, 3)]
+    gaussian_db = radio.survey_wifi_gaussian(points, rng, samples_per_point=12)
+    horus = GaussianHorusScheme(gaussian_db)
+    radar = RadarScheme(daily_world["wifi_db"])
+
+    horus_errors, radar_errors = [], []
+    for moment, snap in zip(walk.moments[:200], snaps[:200]):
+        h = horus.estimate(snap)
+        r = radar.estimate(snap)
+        if h is not None:
+            horus_errors.append(h.position.distance_to(moment.position))
+        if r is not None:
+            radar_errors.append(r.position.distance_to(moment.position))
+    assert horus_errors
+    # Horus should at least be competitive with RADAR on this stretch.
+    assert np.mean(horus_errors) <= np.mean(radar_errors) * 1.5

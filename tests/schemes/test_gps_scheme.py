@@ -1,0 +1,54 @@
+"""Tests for the GPS scheme."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.schemes import GpsScheme
+from repro.sensors.gps import GpsStatus
+from repro.sensors.imu import ImuReading
+from repro.sensors.snapshot import SensorSnapshot
+from repro.world import NTU_FRAME
+
+
+def make_snapshot(gps):
+    return SensorSnapshot(
+        index=0,
+        time_s=0.0,
+        wifi_scan={},
+        cell_scan={},
+        gps=gps,
+        imu=ImuReading((), 0.0, 0.0, 0.0, 2.0),
+        light_lux=10000.0,
+    )
+
+
+def test_unavailable_without_fix():
+    scheme = GpsScheme(NTU_FRAME)
+    snap = make_snapshot(GpsStatus(n_satellites=2, hdop=float("inf"), fix=None))
+    assert scheme.estimate(snap) is None
+
+
+def test_fix_converted_to_map_frame():
+    scheme = GpsScheme(NTU_FRAME)
+    truth = Point(120.0, -40.0)
+    snap = make_snapshot(
+        GpsStatus(n_satellites=10, hdop=0.9, fix=NTU_FRAME.to_geo(truth))
+    )
+    out = scheme.estimate(snap)
+    assert out.position.distance_to(truth) < 1e-6
+
+
+def test_spread_scales_with_hdop():
+    scheme = GpsScheme(NTU_FRAME)
+    geo = NTU_FRAME.to_geo(Point(0, 0))
+    good = scheme.estimate(make_snapshot(GpsStatus(11, 0.9, geo)))
+    bad = scheme.estimate(make_snapshot(GpsStatus(5, 4.0, geo)))
+    assert bad.spread > good.spread
+
+
+def test_quality_reports_chip_metadata():
+    scheme = GpsScheme(NTU_FRAME)
+    geo = NTU_FRAME.to_geo(Point(0, 0))
+    out = scheme.estimate(make_snapshot(GpsStatus(8, 1.2, geo)))
+    assert out.quality["n_satellites"] == 8.0
+    assert out.quality["hdop"] == 1.2

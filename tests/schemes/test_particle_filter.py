@@ -1,0 +1,128 @@
+"""Tests for the vectorized particle filter."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.schemes import ParticleFilter
+from repro.world import build_daily_path_place
+
+
+@pytest.fixture(scope="module")
+def place():
+    return build_daily_path_place()
+
+
+def make_pf(place, n=200, seed=0):
+    pf = ParticleFilter(place, n_particles=n)
+    pf.initialize(Point(5.0, 0.0), spread=0.5, rng=np.random.default_rng(seed))
+    return pf
+
+
+def test_positive_particle_count_required(place):
+    with pytest.raises(ValueError):
+        ParticleFilter(place, n_particles=0)
+
+
+def test_initialize_centers_cloud(place):
+    pf = make_pf(place)
+    mean, spread = pf.estimate()
+    assert mean.distance_to(Point(5, 0)) < 0.5
+    assert spread < 1.5
+
+
+def test_predict_advances_cloud(place):
+    pf = make_pf(place)
+    for _ in range(10):
+        pf.predict(step_length=0.7, heading=0.0)
+    mean, _ = pf.estimate()
+    assert mean.x == pytest.approx(12.0, abs=1.5)
+
+
+class TestWalkability:
+    def test_corridor_interior_walkable(self, place):
+        pf = make_pf(place)
+        # Office corridor runs along y=0 with width 2.
+        mask = pf.walkable_mask(np.array([[5.0, 0.0], [5.0, 0.8]]))
+        assert mask.tolist() == [True, True]
+
+    def test_wall_zone_blocked(self, place):
+        pf = make_pf(place)
+        # 2 m off the corridor centerline: inside the office region but
+        # outside the 2 m corridor.
+        mask = pf.walkable_mask(np.array([[5.0, 2.0]]))
+        assert not mask[0]
+
+    def test_outdoor_unconstrained(self, place):
+        pf = make_pf(place)
+        # Far from all indoor regions: open space, always walkable.
+        path = place.paths["path1"]
+        p = path.polyline.point_at_distance(280.0)
+        off = np.array([[p.x + 15.0, p.y + 15.0]])
+        assert pf.walkable_mask(off)[0]
+
+    def test_blocked_particles_lose_weight(self, place):
+        pf = make_pf(place)
+        before = pf.weights.copy()
+        # Step hard sideways into the wall: most proposals rejected.
+        pf.predict(step_length=3.0, heading=np.pi / 2)
+        assert pf.weights.sum() == pytest.approx(1.0)
+        # The bulk of the cloud cannot cross the corridor wall at y=1
+        # (a few particles initialized beyond the wall may drift away).
+        assert np.median(pf.positions[:, 1]) < 1.0
+
+
+class TestResampling:
+    def test_resample_triggers_on_degenerate_weights(self, place):
+        pf = make_pf(place)
+        factors = np.zeros(pf.n_particles)
+        factors[0] = 1.0
+        pf.reweight(factors)
+        assert pf.effective_sample_size() < 2.0
+        assert pf.resample_if_needed()
+        assert pf.effective_sample_size() == pytest.approx(pf.n_particles)
+
+    def test_no_resample_with_uniform_weights(self, place):
+        pf = make_pf(place)
+        assert not pf.resample_if_needed()
+
+    def test_resample_concentrates_on_heavy_particle(self, place):
+        pf = make_pf(place)
+        target = pf.positions[3].copy()
+        factors = np.zeros(pf.n_particles)
+        factors[3] = 1.0
+        pf.reweight(factors)
+        pf.resample_if_needed()
+        mean, spread = pf.estimate()
+        assert mean.distance_to(Point(*target)) < 1e-6
+        assert spread == pytest.approx(0.0, abs=1e-9)
+
+
+def test_reweight_shape_validated(place):
+    pf = make_pf(place)
+    with pytest.raises(ValueError):
+        pf.reweight(np.ones(3))
+
+
+def test_reweight_all_zero_recovers_uniform(place):
+    pf = make_pf(place)
+    pf.reweight(np.zeros(pf.n_particles))
+    assert pf.weights.sum() == pytest.approx(1.0)
+    assert pf.weights.std() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_recenter_moves_cloud_and_keeps_scales(place):
+    pf = make_pf(place)
+    scales = pf.scales.copy()
+    pf.recenter(Point(50.0, -4.0), spread=1.0)
+    mean, _ = pf.estimate()
+    assert mean.distance_to(Point(50, -4)) < 1.0
+    assert np.array_equal(pf.scales, scales)
+
+
+def test_scales_stay_clipped(place):
+    pf = make_pf(place)
+    for _ in range(300):
+        pf.predict(0.7, 0.0)
+    assert (pf.scales >= 0.6).all()
+    assert (pf.scales <= 1.4).all()

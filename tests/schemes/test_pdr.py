@@ -1,0 +1,115 @@
+"""Tests for the motion-based PDR scheme."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import PdrScheme, compensate_steps
+from repro.sensors.imu import StepEvent
+
+
+class TestStepCompensation:
+    def test_normal_step_passes(self):
+        assert compensate_steps((StepEvent(0.5, 0.7),)) == [0.7]
+
+    def test_short_event_deleted(self):
+        """Trembling artifacts below 0.4 s are false positives (§III-B)."""
+        assert compensate_steps((StepEvent(0.3, 0.7),)) == []
+
+    def test_long_event_adds_a_step(self):
+        """Merged double-strides above 0.7 s get a step added back."""
+        assert compensate_steps((StepEvent(1.0, 0.7),)) == [0.7, 0.7]
+
+    def test_boundaries_inclusive(self):
+        assert compensate_steps((StepEvent(0.4, 0.6),)) == [0.6]
+        assert compensate_steps((StepEvent(0.7, 0.6),)) == [0.6]
+
+    def test_mixed_events(self):
+        events = (StepEvent(0.5, 0.7), StepEvent(0.2, 0.7), StepEvent(0.9, 0.6))
+        assert compensate_steps(events) == [0.7, 0.6, 0.6]
+
+    def test_empty(self):
+        assert compensate_steps(()) == []
+
+
+class TestPdrOnWalk:
+    def test_always_available(self, daily_world):
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        outputs = [scheme.estimate(s) for s in snaps[:50]]
+        assert all(o is not None for o in outputs)
+
+    def test_tracks_truth_in_office(self, daily_world):
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        errors = []
+        for moment, snap in zip(walk.moments[:60], snaps[:60]):
+            out = scheme.estimate(snap)
+            errors.append(out.position.distance_to(moment.position))
+        assert np.mean(errors) < 4.0
+
+    def test_distance_since_landmark_grows_then_resets(self, daily_world):
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        values = []
+        for snap in snaps[:200]:
+            scheme.estimate(snap)
+            values.append(scheme.distance_since_landmark)
+        assert max(values) > 10.0
+        # At least one reset happened after some accumulation.
+        resets = [b for a, b in zip(values, values[1:]) if b < a]
+        assert resets
+
+    def test_reset_restores_start(self, daily_world):
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        for snap in snaps[:100]:
+            scheme.estimate(snap)
+        scheme.reset()
+        out = scheme.estimate(snaps[0])
+        assert out.position.distance_to(walk.moments[0].position) < 3.0
+        assert scheme.distance_since_landmark < 2.0
+
+    def test_error_accumulates_without_landmarks(self, daily_world):
+        """Outdoor stretch: error at the end exceeds error at the start."""
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        outdoor_errors = []
+        for moment, snap in zip(walk.moments, snaps):
+            out = scheme.estimate(snap)
+            if not place.is_indoor_at(moment.position):
+                outdoor_errors.append(out.position.distance_to(moment.position))
+        early = np.mean(outdoor_errors[:20])
+        late = np.mean(outdoor_errors[-20:])
+        assert late > early
+
+    def test_output_exposes_motion_quality(self, daily_world):
+        place, walk, snaps = (
+            daily_world["place"],
+            daily_world["walk"],
+            daily_world["snaps"],
+        )
+        scheme = PdrScheme(place, walk.moments[0].position, seed=2)
+        out = scheme.estimate(snaps[1])
+        assert "distance_since_landmark" in out.quality
+        assert out.samples.shape == (300, 2)
+        assert out.sample_weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""Tests for the inertial pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.motion import DEFAULT_GAIT, GaitProfile, Moment
+from repro.geometry import Point
+from repro.sensors import NEXUS_5X, ImuSimulator
+from repro.sensors.imu import STEP_LENGTH_BIAS_STD
+
+
+def make_moment(index=1, heading=0.0, step_length=0.7, period=0.5):
+    return Moment(
+        index=index,
+        time_s=index * period,
+        position=Point(index * step_length, 0.0),
+        heading=heading,
+        arc_length=index * step_length,
+        step_length=step_length,
+        step_period=period,
+    )
+
+
+def make_imu(gait=DEFAULT_GAIT, seed=0):
+    return ImuSimulator(device=NEXUS_5X, gait=gait, rng=np.random.default_rng(seed))
+
+
+class TestSteps:
+    def test_no_event_for_standing_still(self):
+        imu = make_imu()
+        reading = imu.sense(make_moment(step_length=0.0), magnetic_sigma_ut=2.0)
+        assert reading.step_events == ()
+
+    def test_normal_step_produces_one_event(self):
+        imu = make_imu(gait=GaitProfile("calm", 0.7, 0.5, trembling=0.0))
+        reading = imu.sense(make_moment(), magnetic_sigma_ut=2.0)
+        assert len(reading.step_events) == 1
+        assert reading.step_events[0].length_m == pytest.approx(0.7, rel=0.4)
+
+    def test_trembling_produces_jitter_events(self):
+        """A shaky hand yields spurious or merged events at the modeled rates."""
+        gait = GaitProfile("shaky", 0.7, 0.5, trembling=1.0)
+        imu = make_imu(gait=gait, seed=3)
+        counts = {0: 0, 1: 0, 2: 0}
+        for i in range(1, 1001):
+            reading = imu.sense(make_moment(index=i), magnetic_sigma_ut=2.0)
+            counts[len(reading.step_events)] += 1
+        assert counts[2] > 50  # spurious extras at ~12%
+        long_periods = 0
+        imu2 = make_imu(gait=gait, seed=4)
+        for i in range(1, 1001):
+            reading = imu2.sense(make_moment(index=i), magnetic_sigma_ut=2.0)
+            long_periods += sum(1 for e in reading.step_events if e.period_s > 0.7)
+        assert long_periods > 30  # merged strides at ~8%
+
+    def test_session_length_bias_is_constant(self):
+        imu = make_imu(seed=5)
+        imu.sense(make_moment(), magnetic_sigma_ut=2.0)
+        bias = imu._length_bias
+        for i in range(2, 20):
+            imu.sense(make_moment(index=i), magnetic_sigma_ut=2.0)
+        assert imu._length_bias == bias
+        assert abs(bias) < 5 * STEP_LENGTH_BIAS_STD
+
+
+class TestHeading:
+    def test_heading_tracks_truth_outdoors(self):
+        imu = make_imu(seed=1)
+        errors = []
+        for i in range(1, 300):
+            reading = imu.sense(make_moment(index=i, heading=0.3), magnetic_sigma_ut=1.5)
+            errors.append(abs(reading.heading - 0.3))
+        assert np.mean(errors) < 0.15
+
+    def test_bias_larger_in_disturbed_field(self):
+        """Weaker magnetometer correction lets the gyro bias wander more."""
+        quiet_bias, noisy_bias = [], []
+        imu_q = make_imu(seed=2)
+        imu_n = make_imu(seed=2)
+        for i in range(1, 500):
+            imu_q.sense(make_moment(index=i), magnetic_sigma_ut=1.0)
+            imu_n.sense(make_moment(index=i), magnetic_sigma_ut=12.0)
+            quiet_bias.append(abs(imu_q._bias))
+            noisy_bias.append(abs(imu_n._bias))
+        assert np.mean(noisy_bias) > np.mean(quiet_bias)
+
+    def test_reset_bias(self):
+        imu = make_imu(seed=3)
+        for i in range(1, 50):
+            imu.sense(make_moment(index=i), magnetic_sigma_ut=10.0)
+        imu.reset_bias()
+        assert imu._bias == 0.0
+
+    def test_orientation_change_rate_zero_first_step(self):
+        imu = make_imu()
+        reading = imu.sense(make_moment(), magnetic_sigma_ut=2.0)
+        assert reading.orientation_change_rate == 0.0
+
+    def test_magnetic_sigma_reported_noisily(self):
+        imu = make_imu(seed=9)
+        reading = imu.sense(make_moment(), magnetic_sigma_ut=6.0)
+        assert reading.magnetic_sigma_ut == pytest.approx(6.0, abs=3.0)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_places_lists_worlds(capsys):
+    assert main(["places"]) == 0
+    out = capsys.readouterr().out
+    assert "daily" in out
+    assert "path1 (320 m)" in out
+    assert "mall" in out
+
+
+def test_tables_prints_energy_and_latency(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "motion" in out
+    assert "Response time" in out
+
+
+def test_unknown_place_errors(capsys):
+    assert main(["survey", "atlantis", "--out", "/tmp/x.json"]) == 2
+    assert "unknown place" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_survey_roundtrip(tmp_path, capsys):
+    out_file = tmp_path / "prints.json"
+    assert main(["survey", "office", "--out", str(out_file)]) == 0
+    from repro.persistence import load_fingerprints
+
+    db = load_fingerprints(out_file)
+    assert len(db) > 10
+
+
+def test_record_trace(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    assert main(["record", "office", "survey", "--out", str(out_file)]) == 0
+    from repro.persistence import load_trace
+
+    trace = load_trace(out_file)
+    assert len(trace) > 50
+
+
+def test_record_unknown_path(tmp_path, capsys):
+    assert main(["record", "office", "nopath", "--out", str(tmp_path / "x.json")]) == 2
+
+
+def test_train_saves_models(tmp_path, capsys):
+    out_file = tmp_path / "models.json"
+    assert main(["train", "--out", str(out_file)]) == 0
+    from repro.persistence import load_error_models
+
+    models = load_error_models(out_file)
+    assert "fusion" in models
+    out = capsys.readouterr().out
+    assert "sigma_e" in out

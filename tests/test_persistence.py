@@ -1,0 +1,130 @@
+"""Round-trip tests for JSON persistence."""
+
+import pytest
+
+from repro.core import LinearErrorModel
+from repro.core.error_model import ErrorModelSet
+from repro.persistence import (
+    load_error_models,
+    load_fingerprints,
+    load_trace,
+    save_error_models,
+    save_fingerprints,
+    save_trace,
+)
+
+
+class TestFingerprints:
+    def test_roundtrip(self, tmp_path, daily_world=None):
+        from repro.geometry import Point
+        from repro.radio import Fingerprint, FingerprintDatabase
+
+        db = FingerprintDatabase(
+            [
+                Fingerprint(Point(1.5, -2.5), {"a": -40.25, "b": -71.0}),
+                Fingerprint(Point(10.0, 0.0), {"c": -55.0}),
+            ]
+        )
+        path = tmp_path / "fp.json"
+        save_fingerprints(db, path)
+        loaded = load_fingerprints(path)
+        assert len(loaded) == 2
+        assert loaded.entries[0].position == db.entries[0].position
+        assert loaded.entries[0].rssi == db.entries[0].rssi
+
+    def test_format_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something_else", "version": 1}')
+        with pytest.raises(ValueError):
+            load_fingerprints(path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format": "fingerprints", "version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            load_fingerprints(path)
+
+
+class TestErrorModels:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        fitted = LinearErrorModel(("a", "b"))
+        x = rng.uniform(0, 10, (60, 2))
+        fitted.fit(x, x @ np.array([1.5, -0.5]) + rng.normal(0, 0.3, 60))
+        unfitted = LinearErrorModel((), fit_intercept=True)
+        models = {"wifi": ErrorModelSet(indoor=fitted, outdoor=unfitted)}
+
+        path = tmp_path / "models.json"
+        save_error_models(models, path)
+        loaded = load_error_models(path)
+
+        assert loaded["wifi"].indoor.is_fitted
+        assert not loaded["wifi"].outdoor.is_fitted
+        probe = {"a": 3.0, "b": 1.0}
+        assert loaded["wifi"].indoor.predict(probe) == pytest.approx(
+            fitted.predict(probe)
+        )
+        summary = loaded["wifi"].indoor.summary
+        assert summary.n_samples == 60
+
+    def test_trained_models_roundtrip(self, tmp_path):
+        from repro.eval.experiments import shared_models
+
+        models = shared_models(0)
+        path = tmp_path / "trained.json"
+        save_error_models(models, path)
+        loaded = load_error_models(path)
+        assert set(loaded) == set(models)
+        for name in models:
+            for ctx in (True, False):
+                a = models[name].for_context(ctx)
+                b = loaded[name].for_context(ctx)
+                assert a.is_fitted == b.is_fitted
+                if a.is_fitted:
+                    assert b.summary.coefficients == pytest.approx(
+                        a.summary.coefficients
+                    )
+
+
+class TestTraces:
+    def test_roundtrip_full_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.eval import PlaceSetup
+        from repro.world import build_office_place
+
+        setup = PlaceSetup.create(build_office_place(), seed=33)
+        _, snaps = setup.record_walk("survey", walk_seed=1, trace_seed=2, max_length=20.0)
+        path = tmp_path / "trace.json"
+        save_trace(snaps, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(snaps)
+        for a, b in zip(snaps, loaded):
+            assert a.index == b.index
+            assert a.wifi_scan == b.wifi_scan
+            assert a.imu.heading == b.imu.heading
+            assert a.gps.n_satellites == b.gps.n_satellites
+            assert len(a.detected_landmarks) == len(b.detected_landmarks)
+
+    def test_trace_replay_produces_same_result(self, tmp_path):
+        """A persisted trace replays identically through a scheme."""
+        from repro.eval import PlaceSetup
+        from repro.schemes import RadarScheme
+        from repro.world import build_office_place
+
+        setup = PlaceSetup.create(build_office_place(), seed=33)
+        _, snaps = setup.record_walk("survey", walk_seed=1, trace_seed=2, max_length=30.0)
+        path = tmp_path / "trace.json"
+        save_trace(snaps, path)
+        loaded = load_trace(path)
+
+        a = RadarScheme(setup.wifi_db)
+        b = RadarScheme(setup.wifi_db)
+        for orig, replayed in zip(snaps, loaded):
+            out_a = a.estimate(orig)
+            out_b = b.estimate(replayed)
+            assert (out_a is None) == (out_b is None)
+            if out_a is not None:
+                assert out_a.position == out_b.position

@@ -1,0 +1,109 @@
+"""Unit tests for the procedural world builder."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.world import EnvironmentType as Env
+from repro.world import Leg, PlaceBuilder, build_path
+from repro.world.floorplan import LandmarkKind
+
+
+def test_empty_legs_raise():
+    with pytest.raises(ValueError):
+        build_path("p", Point(0, 0), 0.0, [])
+
+
+def test_non_positive_leg_raises():
+    with pytest.raises(ValueError):
+        build_path("p", Point(0, 0), 0.0, [Leg(0.0, 0.0, Env.OFFICE)])
+
+
+def test_polyline_length_matches_leg_sum():
+    legs = [Leg(10, 0, Env.OFFICE), Leg(5, math.pi / 2, Env.OFFICE)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    assert built.polyline.length() == pytest.approx(15.0)
+
+
+def test_heading_accumulates_turns():
+    legs = [Leg(10, 0, Env.OFFICE), Leg(10, math.pi / 2, Env.OFFICE)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    assert built.polyline.vertices[-1].x == pytest.approx(10.0)
+    assert built.polyline.vertices[-1].y == pytest.approx(10.0)
+
+
+def test_indoor_legs_produce_corridors_and_walls():
+    legs = [Leg(10, 0, Env.OFFICE), Leg(10, 0, Env.OPEN_SPACE)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    assert len(built.corridors) == 1  # only the indoor leg
+    assert len(built.walls) == 2  # two parallel walls per indoor leg
+
+
+def test_regions_cover_the_path():
+    legs = [Leg(30, 0, Env.OFFICE), Leg(30, math.pi / 4, Env.CORRIDOR)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    for s in range(0, 60, 2):
+        p = built.polyline.point_at_distance(float(s))
+        assert any(r.polygon.contains(p) for r in built.regions)
+
+
+def test_sharp_indoor_turn_creates_turn_landmark():
+    legs = [Leg(10, 0, Env.OFFICE), Leg(10, math.pi / 2, Env.OFFICE)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    kinds = [lm.kind for lm in built.landmarks]
+    assert LandmarkKind.TURN in kinds
+
+
+def test_gentle_turn_creates_no_turn_landmark():
+    legs = [Leg(10, 0, Env.BASEMENT), Leg(10, math.radians(15), Env.BASEMENT)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    assert all(lm.kind is not LandmarkKind.TURN for lm in built.landmarks)
+
+
+def test_environment_transition_creates_door():
+    legs = [Leg(10, 0, Env.OFFICE), Leg(10, 0, Env.CORRIDOR)]
+    built = build_path("p", Point(0, 0), 0.0, legs)
+    doors = [lm for lm in built.landmarks if lm.kind is LandmarkKind.DOOR]
+    assert len(doors) == 1
+    assert doors[0].position == Point(10, 0)
+
+
+def test_signatures_only_in_rich_environments():
+    """Basements offer no Wi-Fi/magnetic signatures (paper Fig. 2 story)."""
+    rich = build_path("p", Point(0, 0), 0.0, [Leg(60, 0, Env.CORRIDOR)])
+    poor = build_path("q", Point(0, 0), 0.0, [Leg(60, 0, Env.BASEMENT)])
+    rich_sigs = [lm for lm in rich.landmarks if lm.kind is LandmarkKind.SIGNATURE]
+    poor_sigs = [lm for lm in poor.landmarks if lm.kind is LandmarkKind.SIGNATURE]
+    assert len(rich_sigs) >= 2
+    assert poor_sigs == []
+
+
+def test_outdoor_legs_have_no_signatures():
+    built = build_path("p", Point(0, 0), 0.0, [Leg(100, 0, Env.OPEN_SPACE)])
+    assert built.landmarks == []
+
+
+class TestPlaceBuilder:
+    def test_duplicate_path_rejected(self):
+        built = build_path("p", Point(0, 0), 0.0, [Leg(10, 0, Env.OFFICE)])
+        builder = PlaceBuilder("x", Env.OPEN_SPACE).add("a", built)
+        with pytest.raises(ValueError):
+            builder.add("a", built)
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            PlaceBuilder("x", Env.OPEN_SPACE).build()
+
+    def test_boundary_includes_margin(self):
+        built = build_path("p", Point(0, 0), 0.0, [Leg(10, 0, Env.OFFICE)])
+        place = PlaceBuilder("x", Env.OPEN_SPACE, margin=25.0).add("a", built).build()
+        min_x, min_y, max_x, max_y = place.boundary.bounding_box()
+        assert min_x == pytest.approx(-25.0)
+        assert max_x == pytest.approx(35.0)
+
+    def test_paths_registered(self):
+        built = build_path("p", Point(0, 0), 0.0, [Leg(10, 0, Env.OFFICE)])
+        place = PlaceBuilder("x", Env.OPEN_SPACE).add("walk", built).build()
+        assert "walk" in place.paths
+        assert place.paths["walk"].length() == pytest.approx(10.0)

@@ -1,0 +1,127 @@
+"""Tests for the built-in worlds (paper evaluation environments)."""
+
+import pytest
+
+from repro.world import (
+    EnvironmentType as Env,
+)
+from repro.world import (
+    build_campus_place,
+    build_daily_path_place,
+    build_mall_place,
+    build_office_place,
+    build_open_space_place,
+    build_second_office_place,
+    build_urban_open_space_place,
+)
+
+
+class TestDailyPath:
+    @pytest.fixture(scope="class")
+    def place(self):
+        return build_daily_path_place()
+
+    def test_total_length_matches_paper(self, place):
+        assert place.paths["path1"].length() == pytest.approx(320.0, abs=1.0)
+
+    def test_environment_sequence(self, place):
+        """Office -> corridor -> basement -> car park -> open space."""
+        breakpoints = place.environment_segments(place.paths["path1"], spacing=1.0)
+        sequence = [env for _, env in breakpoints]
+        assert sequence == [
+            Env.OFFICE,
+            Env.CORRIDOR,
+            Env.BASEMENT,
+            Env.CAR_PARK,
+            Env.OPEN_SPACE,
+        ]
+
+    def test_segment_boundaries_near_paper_annotations(self, place):
+        breakpoints = dict(
+            (env, arc)
+            for arc, env in place.environment_segments(place.paths["path1"])
+        )
+        assert breakpoints[Env.CORRIDOR] == pytest.approx(50, abs=8)
+        assert breakpoints[Env.BASEMENT] == pytest.approx(110, abs=8)
+        assert breakpoints[Env.CAR_PARK] == pytest.approx(170, abs=8)
+        assert breakpoints[Env.OPEN_SPACE] == pytest.approx(225, abs=8)
+
+    def test_indoor_outdoor_split(self, place):
+        path = place.paths["path1"]
+        indoor = sum(
+            1
+            for s in range(0, int(path.length()))
+            if place.is_indoor_at(path.polyline.point_at_distance(s))
+        )
+        # ~225 m of 320 m are indoors.
+        assert 0.6 < indoor / path.length() < 0.8
+
+
+class TestCampus:
+    @pytest.fixture(scope="class")
+    def place(self):
+        return build_campus_place()
+
+    def test_eight_paths(self, place):
+        assert len(place.paths) == 8
+
+    def test_total_length_near_paper(self, place):
+        total = sum(p.length() for p in place.paths.values())
+        assert total == pytest.approx(2780.0, rel=0.05)
+
+    def test_outdoor_share(self, place):
+        outdoor = 0.0
+        total = 0.0
+        for path in place.paths.values():
+            for s in range(0, int(path.length()), 2):
+                total += 2.0
+                if not place.is_indoor_at(path.polyline.point_at_distance(s)):
+                    outdoor += 2.0
+        # The paper reports 0.8 km outdoors of 2.78 km (~29%).
+        assert 0.2 < outdoor / total < 0.45
+
+    def test_all_paths_share_the_start(self, place):
+        starts = {p.polyline.vertices[0].as_tuple() for p in place.paths.values()}
+        assert starts == {(0.0, 0.0)}
+
+
+class TestTrainingPlaces:
+    def test_office_dimensions(self):
+        place = build_office_place()
+        min_x, min_y, max_x, max_y = place.boundary.bounding_box()
+        # 56 x 20 m2 office plus margin.
+        assert 50 <= max_x - min_x <= 80
+        assert 15 <= max_y - min_y <= 40
+
+    def test_office_is_all_indoor(self):
+        place = build_office_place()
+        path = place.paths["survey"]
+        for s in range(0, int(path.length()), 5):
+            assert place.is_indoor_at(path.polyline.point_at_distance(s))
+
+    def test_open_space_is_all_outdoor(self):
+        place = build_open_space_place()
+        path = place.paths["survey"]
+        for s in range(0, int(path.length()), 5):
+            assert not place.is_indoor_at(path.polyline.point_at_distance(s))
+
+    def test_mall_is_mall_environment(self):
+        place = build_mall_place()
+        path = place.paths["survey"]
+        mid = path.polyline.point_at_distance(path.length() / 2)
+        assert place.environment_at(mid) is Env.MALL
+
+    def test_second_office_differs_from_first(self):
+        a = build_office_place()
+        b = build_second_office_place()
+        assert a.paths["survey"].length() != b.paths["survey"].length()
+
+    def test_urban_open_space_mixes_street(self):
+        place = build_urban_open_space_place()
+        path = place.paths["survey"]
+        envs = {
+            place.environment_at(path.polyline.point_at_distance(s))
+            for s in range(0, int(path.length()), 5)
+        }
+        assert Env.STREET in envs
+        assert Env.OPEN_SPACE in envs

@@ -1,0 +1,78 @@
+"""Unit tests for repro.world.environment."""
+
+from repro.world import EnvironmentType, is_indoor, profile_of
+
+
+def test_every_environment_has_a_profile():
+    for env in EnvironmentType:
+        assert profile_of(env) is not None
+
+
+def test_paper_indoor_definition():
+    """Every roofed place is indoor, including the semi-open corridor."""
+    assert is_indoor(EnvironmentType.OFFICE)
+    assert is_indoor(EnvironmentType.CORRIDOR)
+    assert is_indoor(EnvironmentType.BASEMENT)
+    assert is_indoor(EnvironmentType.CAR_PARK)
+    assert is_indoor(EnvironmentType.MALL)
+    assert not is_indoor(EnvironmentType.OPEN_SPACE)
+    assert not is_indoor(EnvironmentType.STREET)
+
+
+def test_gps_sky_view_structure():
+    """Fully indoor places see no sky; the open space sees all of it."""
+    assert profile_of(EnvironmentType.OFFICE).sky_view == 0.0
+    assert profile_of(EnvironmentType.BASEMENT).sky_view == 0.0
+    assert profile_of(EnvironmentType.MALL).sky_view == 0.0
+    assert profile_of(EnvironmentType.OPEN_SPACE).sky_view == 1.0
+    assert 0.0 < profile_of(EnvironmentType.STREET).sky_view < 1.0
+
+
+def test_wifi_structure():
+    """The office is AP-dense; the basement is Wi-Fi-dead."""
+    office = profile_of(EnvironmentType.OFFICE)
+    basement = profile_of(EnvironmentType.BASEMENT)
+    assert office.ap_per_100m2 > 10 * basement.ap_per_100m2
+    assert basement.wifi_attenuation_db >= 25.0
+    assert office.wifi_attenuation_db == 0.0
+
+
+def test_basement_cellular_is_weak():
+    """Basements hear few towers through heavy attenuation (paper mall)."""
+    basement = profile_of(EnvironmentType.BASEMENT)
+    mall = profile_of(EnvironmentType.MALL)
+    open_space = profile_of(EnvironmentType.OPEN_SPACE)
+    assert basement.audible_towers_cap == 2
+    assert mall.audible_towers_cap == 2
+    assert basement.cell_attenuation_db > open_space.cell_attenuation_db
+    assert open_space.audible_towers_cap >= 6
+
+
+def test_light_levels_separate_indoor_outdoor():
+    """IODetector's light feature has a wide indoor/outdoor gap."""
+    indoor_max = max(
+        profile_of(e).ambient_light_lux for e in EnvironmentType if is_indoor(e)
+    )
+    outdoor_min = min(
+        profile_of(e).ambient_light_lux for e in EnvironmentType if not is_indoor(e)
+    )
+    assert outdoor_min > indoor_max
+
+
+def test_magnetic_disturbance_higher_indoors():
+    indoor_min = min(
+        profile_of(e).magnetic_sigma_ut for e in EnvironmentType if is_indoor(e)
+    )
+    outdoor_max = max(
+        profile_of(e).magnetic_sigma_ut for e in EnvironmentType if not is_indoor(e)
+    )
+    assert indoor_min > outdoor_max
+
+
+def test_corridor_widths_reflect_constraint_tightness():
+    """Offices constrain PDR tightly; open spaces barely constrain it."""
+    assert (
+        profile_of(EnvironmentType.OFFICE).default_corridor_width_m
+        < profile_of(EnvironmentType.CAR_PARK).default_corridor_width_m
+        < profile_of(EnvironmentType.OPEN_SPACE).default_corridor_width_m
+    )

@@ -1,0 +1,40 @@
+"""Tests for the local-tangent-plane geodesy."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.world import NTU_FRAME, GeoPoint, LocalTangentPlane
+
+
+def test_origin_maps_to_zero():
+    mapped = NTU_FRAME.to_map(NTU_FRAME.origin)
+    assert mapped.x == pytest.approx(0.0, abs=1e-9)
+    assert mapped.y == pytest.approx(0.0, abs=1e-9)
+
+
+def test_roundtrip_map_geo_map():
+    for point in [Point(100, 50), Point(-300, 200), Point(0.5, -0.5)]:
+        geo = NTU_FRAME.to_geo(point)
+        back = NTU_FRAME.to_map(geo)
+        assert back.x == pytest.approx(point.x, abs=1e-6)
+        assert back.y == pytest.approx(point.y, abs=1e-6)
+
+
+def test_north_displacement_changes_latitude_only():
+    geo = NTU_FRAME.to_geo(Point(0, 1000))
+    assert geo.latitude > NTU_FRAME.origin.latitude
+    assert geo.longitude == pytest.approx(NTU_FRAME.origin.longitude)
+
+
+def test_one_degree_latitude_is_about_111km():
+    frame = LocalTangentPlane(GeoPoint(0.0, 0.0))
+    mapped = frame.to_map(GeoPoint(1.0, 0.0))
+    assert mapped.y == pytest.approx(111_194, rel=0.01)
+
+
+def test_longitude_scale_shrinks_with_latitude():
+    equator = LocalTangentPlane(GeoPoint(0.0, 0.0))
+    nordic = LocalTangentPlane(GeoPoint(60.0, 0.0))
+    at_equator = equator.to_map(GeoPoint(0.0, 1.0)).x
+    at_60 = nordic.to_map(GeoPoint(60.0, 1.0)).x
+    assert at_60 == pytest.approx(at_equator / 2.0, rel=0.01)

@@ -1,0 +1,64 @@
+"""Tests for Place: environment lookup, paths, grids."""
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.world import EnvironmentType as Env
+from repro.world import FloorPlan, Place
+from repro.world.place import EnvironmentRegion, Path
+from repro.geometry import Polyline
+
+
+@pytest.fixture
+def place():
+    office = EnvironmentRegion(Polygon.rectangle(0, 0, 10, 10), Env.OFFICE)
+    overlap = EnvironmentRegion(Polygon.rectangle(5, 0, 20, 10), Env.CORRIDOR)
+    return Place(
+        name="test",
+        boundary=Polygon.rectangle(-5, -5, 30, 15),
+        regions=[office, overlap],
+        default_env=Env.OPEN_SPACE,
+        floorplan=FloorPlan(corridors=[], walls=[], landmarks=[]),
+    )
+
+
+def test_first_region_wins_on_overlap(place):
+    assert place.environment_at(Point(7, 5)) is Env.OFFICE
+
+
+def test_second_region_after_first(place):
+    assert place.environment_at(Point(15, 5)) is Env.CORRIDOR
+
+
+def test_default_environment_outside_regions(place):
+    assert place.environment_at(Point(25, 12)) is Env.OPEN_SPACE
+
+
+def test_is_indoor_follows_environment(place):
+    assert place.is_indoor_at(Point(7, 5))
+    assert not place.is_indoor_at(Point(25, 12))
+
+
+def test_corridor_width_uses_profile_default(place):
+    # No explicit corridors: office profile default (2 m).
+    assert place.corridor_width_at(Point(7, 5)) == 2.0
+
+
+def test_grid_covers_boundary(place):
+    grid = place.grid(cell_size=5.0)
+    assert grid.n_cells == 7 * 4
+
+
+def test_duplicate_path_rejected(place):
+    path = Path("walk", Polyline.from_coords([(0, 0), (10, 0)]))
+    place.add_path(path)
+    with pytest.raises(ValueError):
+        place.add_path(path)
+
+
+def test_environment_segments_reports_transitions(place):
+    path = Path("walk", Polyline.from_coords([(2, 5), (25, 5)]))
+    place.add_path(path)
+    breakpoints = place.environment_segments(path, spacing=0.5)
+    envs = [env for _, env in breakpoints]
+    assert envs == [Env.OFFICE, Env.CORRIDOR, Env.OPEN_SPACE]
