@@ -16,6 +16,15 @@ Commands mirror the paper's workflow:
     Record a raw sensor trace for offline experimentation.
 ``tables``
     Regenerate the paper's energy and response-time tables.
+``trace PLACE PATH --out steps.jsonl``
+    Walk a path with full step tracing on and export the JSONL
+    decision telemetry stream (see README "Observability").
+``report TRACE``
+    Aggregate a JSONL step trace into per-scheme usage, availability,
+    latency percentiles, and duty-cycle stats.
+
+``run`` also accepts ``--trace PATH`` to export the telemetry stream
+while printing its usual evaluation.
 """
 
 from __future__ import annotations
@@ -81,16 +90,13 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """Run UniLoc over one path and print the evaluation."""
-    from repro.eval import (
-        SCHEME_NAMES,
-        PlaceSetup,
-        build_framework,
-        run_walk,
-        train_error_models,
-    )
-    from repro.eval.plots import render_bars, render_cdf
+def _prepare_run(args: argparse.Namespace):
+    """Shared setup for the walk-driving commands (``run``/``trace``).
+
+    Returns ``(setup, framework, walk, snaps)`` or an exit code on a
+    bad place/path.
+    """
+    from repro.eval import PlaceSetup, build_framework, train_error_models
 
     builders = _builders()
     if args.place not in builders:
@@ -114,7 +120,61 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.path, walk_seed=args.seed, trace_seed=args.seed + 1
     )
     framework = build_framework(setup, models, walk.moments[0].position)
-    result = run_walk(framework, setup.place, args.path, walk, snaps)
+    return setup, framework, walk, snaps
+
+
+def _open_trace(args: argparse.Namespace, out_path: str):
+    """Open the JSONL trace sink *before* the expensive setup.
+
+    Model training takes minutes; a typo'd output path should fail in
+    milliseconds, not after the walk.  Returns a ``TraceWriter`` or an
+    exit code.
+    """
+    from repro.obs import TraceWriter
+
+    try:
+        return TraceWriter(out_path, place=args.place, path_name=args.path)
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 2
+
+
+def _discard_trace(tw, out_path: str) -> None:
+    """Remove a trace stub left behind by a failed setup."""
+    import os
+
+    tw.close()
+    try:
+        os.unlink(out_path)
+    except OSError:
+        pass
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run UniLoc over one path and print the evaluation."""
+    from repro.eval import SCHEME_NAMES, run_walk
+    from repro.eval.plots import render_bars, render_cdf
+
+    tw = None
+    if args.trace is not None:
+        tw = _open_trace(args, args.trace)
+        if isinstance(tw, int):
+            return tw
+    prepared = _prepare_run(args)
+    if isinstance(prepared, int):
+        if tw is not None:
+            _discard_trace(tw, args.trace)
+        return prepared
+    setup, framework, walk, snaps = prepared
+    if tw is not None:
+        from repro.obs import Tracer
+
+        framework.tracer = Tracer()
+        with tw:
+            result = run_walk(framework, setup.place, args.path, walk, snaps, trace=tw)
+        print(f"wrote {tw.n_steps} step events to {args.trace}")
+    else:
+        result = run_walk(framework, setup.place, args.path, walk, snaps)
 
     print(f"\n{args.place}/{args.path}: {len(result.records)} estimates\n")
     errors_by_system = {}
@@ -169,6 +229,41 @@ def cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Walk a path with tracing enabled and export the JSONL telemetry."""
+    from repro.eval import run_walk
+    from repro.obs import MetricsRegistry, Tracer
+
+    tw = _open_trace(args, args.out)
+    if isinstance(tw, int):
+        return tw
+    prepared = _prepare_run(args)
+    if isinstance(prepared, int):
+        _discard_trace(tw, args.out)
+        return prepared
+    setup, framework, walk, snaps = prepared
+    framework.tracer = Tracer()
+    framework.metrics = MetricsRegistry()
+    with tw:
+        run_walk(framework, setup.place, args.path, walk, snaps, trace=tw)
+    print(f"wrote {tw.n_steps} step events to {args.out}\n")
+    print(framework.metrics.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate a JSONL step trace into a summary table."""
+    from repro.obs import read_trace, render_report, summarize_trace
+
+    try:
+        meta, steps = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(summarize_trace(meta, steps)))
+    return 0
+
+
 def cmd_tables(_: argparse.Namespace) -> int:
     """Print the modeled Table IV / Table V constants."""
     from repro.energy import response_time, scheme_energy
@@ -204,7 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("place")
     p_run.add_argument("path")
     p_run.add_argument("--models", help="load fitted models instead of training")
+    p_run.add_argument(
+        "--trace", help="also export the JSONL step-telemetry stream here"
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="walk a path and export JSONL step telemetry"
+    )
+    p_trace.add_argument("place")
+    p_trace.add_argument("path")
+    p_trace.add_argument("--out", required=True, help="JSONL trace destination")
+    p_trace.add_argument("--models", help="load fitted models instead of training")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report", help="summarize a JSONL step trace (usage, latency, duty cycle)"
+    )
+    p_report.add_argument("trace")
+    p_report.set_defaults(func=cmd_report)
 
     p_survey = sub.add_parser("survey", help="dump a Wi-Fi fingerprint survey")
     p_survey.add_argument("place")

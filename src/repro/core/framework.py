@@ -33,6 +33,8 @@ from repro.core.features import FeatureContext, FeatureExtractor
 from repro.core.hmm import SecondOrderHmm
 from repro.core.iodetector import IODetector
 from repro.geometry import Grid, Point
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER
 from repro.schemes.base import LocalizationScheme, SchemeOutput
 from repro.sensors import SensorSnapshot
 from repro.world import Place
@@ -61,6 +63,9 @@ class StepDecision:
     uniloc1_position: Point | None
     uniloc2_position: Point | None
     gps_enabled: bool
+    #: Per-scheme ``estimate()`` wall time; populated only when the
+    #: framework runs with a recording tracer (empty on the no-op path).
+    scheme_latency_ms: dict[str, float] = field(default_factory=dict)
 
     def available_schemes(self) -> list[str]:
         """Return the schemes that produced an output this step."""
@@ -80,6 +85,13 @@ class UniLocFramework:
             disables the energy policy).
         gps_duty_cycling: only power GPS when it is predicted to be the
             most accurate scheme.
+        tracer: span recorder for the step hot path.  The default no-op
+            tracer keeps the instrumentation cost at one attribute
+            lookup per span site; swap in :class:`repro.obs.Tracer` to
+            record per-step wall-time trees and per-scheme latency.
+        metrics: optional registry accumulating step counters (scheme
+            selections, GPS powering, indoor steps) and — when a
+            recording tracer is attached — latency histograms.
     """
 
     place: Place
@@ -89,6 +101,8 @@ class UniLocFramework:
     gps_duty_cycling: bool = True
     iodetector: IODetector = field(default_factory=IODetector)
     location_predictor: object | None = None
+    tracer: object = NOOP_TRACER
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if not self.bundles:
@@ -127,12 +141,15 @@ class UniLocFramework:
 
     def step(self, snapshot: SensorSnapshot) -> StepDecision:
         """Run one full UniLoc location estimation."""
-        indoor = self.iodetector.is_indoor(snapshot)
-        outputs = self._run_schemes(snapshot, indoor)
-        predicted_location = self._predicted_location(outputs)
-        predicted_errors = self._predict_errors(
-            snapshot, outputs, predicted_location, indoor
-        )
+        with self.tracer.span("uniloc.step") as step_span:
+            decision = self._step(snapshot)
+        self._record_step_metrics(decision, step_span)
+        return decision
+
+    def _step(self, snapshot: SensorSnapshot) -> StepDecision:
+        with self.tracer.span("uniloc.iodetect"):
+            indoor = self.iodetector.is_indoor(snapshot)
+        outputs, predicted_errors, latencies = self._run_schemes(snapshot, indoor)
 
         available = {
             name: err
@@ -151,6 +168,7 @@ class UniLocFramework:
                 uniloc1_position=None,
                 uniloc2_position=None,
                 gps_enabled=self._gps_ran(outputs),
+                scheme_latency_ms=latencies,
             )
 
         tau = adaptive_threshold(list(available.values()))
@@ -166,8 +184,10 @@ class UniLocFramework:
 
         selected = max(confidences, key=confidences.get)
         uniloc1_position = outputs[selected].position
-        uniloc2_position = self._bma_estimate(outputs, weights)
-        self._hmm.observe(uniloc2_position)
+        with self.tracer.span("uniloc.bma"):
+            uniloc2_position = self._bma_estimate(outputs, weights, confidences)
+        with self.tracer.span("uniloc.hmm_observe"):
+            self._hmm.observe(uniloc2_position)
         return StepDecision(
             outputs=outputs,
             predicted_errors=predicted_errors,
@@ -179,51 +199,104 @@ class UniLocFramework:
             uniloc1_position=uniloc1_position,
             uniloc2_position=uniloc2_position,
             gps_enabled=self._gps_ran(outputs),
+            scheme_latency_ms=latencies,
         )
+
+    def _record_step_metrics(self, decision: StepDecision, step_span: object) -> None:
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.counter("uniloc.steps").inc()
+        if decision.selected is not None:
+            m.counter(f"uniloc.selected.{decision.selected}").inc()
+        else:
+            m.counter("uniloc.steps_without_estimate").inc()
+        if decision.gps_enabled:
+            m.counter("uniloc.gps_powered").inc()
+        if decision.indoor:
+            m.counter("uniloc.indoor_steps").inc()
+        if self.tracer.enabled:
+            m.histogram("uniloc.step_ms").observe(step_span.duration_ms)
+            for name, latency in decision.scheme_latency_ms.items():
+                m.histogram(f"scheme.{name}.estimate_ms").observe(latency)
 
     # ------------------------------------------------------------------
 
     def _run_schemes(
         self, snapshot: SensorSnapshot, indoor: bool
-    ) -> dict[str, SchemeOutput | None]:
-        """Run all schemes, honoring the GPS energy policy."""
+    ) -> tuple[dict[str, SchemeOutput | None], dict[str, float], dict[str, float]]:
+        """Run all schemes and predict every scheme's error exactly once.
+
+        Returns ``(outputs, predicted_errors, latencies_ms)``.  The GPS
+        energy policy (§IV-C) reuses the shared error predictions instead
+        of recomputing them, so error prediction runs once per step.
+        """
         outputs: dict[str, SchemeOutput | None] = {}
+        latencies: dict[str, float] = {}
         for name, bundle in self.bundles.items():
             if name == self.gps_scheme and self.gps_duty_cycling:
                 continue  # decided after the other schemes' errors are known
-            outputs[name] = bundle.scheme.estimate(snapshot)
+            outputs[name] = self._timed_estimate(
+                name, bundle.scheme, snapshot, latencies
+            )
+        predicted_location = self._predicted_location(outputs)
+        with self.tracer.span("uniloc.predict_errors"):
+            predicted_errors = self._predict_errors(
+                snapshot, outputs, predicted_location, indoor
+            )
         if self.gps_scheme in self.bundles and self.gps_duty_cycling:
             outputs[self.gps_scheme] = self._gps_policy_output(
-                snapshot, outputs, indoor
+                snapshot, outputs, predicted_errors, indoor, latencies
             )
-        return outputs
+        return outputs, predicted_errors, latencies
+
+    def _timed_estimate(
+        self,
+        name: str,
+        scheme: LocalizationScheme,
+        snapshot: SensorSnapshot,
+        latencies: dict[str, float],
+    ) -> SchemeOutput | None:
+        """Run one scheme, recording its latency when tracing is on."""
+        if not self.tracer.enabled:
+            return scheme.estimate(snapshot)
+        with self.tracer.span("scheme.estimate", scheme=name) as span:
+            output = scheme.estimate(snapshot)
+        span.annotate(available=output is not None)
+        latencies[name] = span.duration_ms
+        return output
 
     def _gps_policy_output(
         self,
         snapshot: SensorSnapshot,
         outputs: dict[str, SchemeOutput | None],
+        predicted_errors: dict[str, float],
         indoor: bool,
+        latencies: dict[str, float],
     ) -> SchemeOutput | None:
         """Apply §IV-C: power GPS only when predicted to be the best.
 
         Indoors GPS stays off.  Outdoors its (feature-free) predicted
-        error is compared against the other schemes' predictions; only
-        when GPS wins is the chip enabled and its output consumed.
+        error — already present in the shared ``predicted_errors`` since
+        the GPS outdoor model needs no output-derived features — is
+        compared against the other schemes' predictions; only when GPS
+        wins is the chip enabled and its output consumed.
         """
         if indoor:
             return None
-        bundle = self.bundles[self.gps_scheme]
-        gps_error = bundle.error_models.for_context(indoor).predict({})
-        predicted_location = self._predicted_location(outputs)
-        others = self._predict_errors(snapshot, outputs, predicted_location, indoor)
+        gps_error = predicted_errors.get(self.gps_scheme)
+        if gps_error is None:
+            return None  # no fitted outdoor GPS model: never predicted best
         competitors = [
             err
-            for name, err in others.items()
+            for name, err in predicted_errors.items()
             if name != self.gps_scheme and outputs.get(name) is not None
         ]
         if competitors and gps_error >= min(competitors):
             return None
-        return bundle.scheme.estimate(snapshot)
+        return self._timed_estimate(
+            self.gps_scheme, self.bundles[self.gps_scheme].scheme, snapshot, latencies
+        )
 
     def _gps_ran(self, outputs: dict[str, SchemeOutput | None]) -> bool:
         """Return True if the GPS chip was powered this step."""
@@ -280,6 +353,7 @@ class UniLocFramework:
         self,
         outputs: dict[str, SchemeOutput | None],
         weights: dict[str, float],
+        confidences: dict[str, float],
     ) -> Point:
         """Mix scheme posteriors by weight and read out Eq. 4."""
         mixture = np.zeros(self._grid.n_cells)
@@ -289,7 +363,9 @@ class UniLocFramework:
                 continue
             mixture += weight * output.grid_posterior(self._grid)
         if mixture.sum() <= 0.0:
-            # All weights zero: fall back to the best available output.
-            available = [o for o in outputs.values() if o is not None]
-            return available[0].position
+            # Degenerate mixture (all contributions vanished): fall back
+            # to the single output the framework trusts most.
+            available = [name for name, out in outputs.items() if out is not None]
+            best = max(available, key=lambda name: confidences.get(name, 0.0))
+            return outputs[best].position
         return self._grid.expected_point(mixture)

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import ErrorModelSet, RegressionSummary
-from repro.core.features import FeatureContext
 from repro.energy import (
     EnergyReport,
     ResponseTimeBreakdown,
@@ -41,7 +40,6 @@ from repro.eval.setup import (
     build_framework,
     train_error_models,
 )
-from repro.motion import DEFAULT_GAIT
 from repro.sensors import LG_G3, NEXUS_5X, DeviceProfile, OffsetCalibrator
 from repro.sensors.snapshot import SensorSnapshot
 from repro.world import (

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core import StepDecision, UniLocFramework, select_best
 from repro.core.oracle import OracleSelection
 from repro.motion import Moment, Walk
+from repro.obs.trace_log import TraceWriter
 from repro.sensors import SensorSnapshot
 from repro.world import EnvironmentType, Place
 
@@ -84,15 +85,18 @@ class WalkResult:
 
         ``selector`` is ``"uniloc1"`` (the online confidence-based choice)
         or ``"optsel"`` (the oracle).  This reproduces the paper's Fig. 5.
+
+        Raises:
+            ValueError: on an unknown selector (even with zero records).
         """
+        if selector not in (UNILOC1, OPTSEL):
+            raise ValueError(f"unknown selector {selector!r}")
         counts: Counter[str] = Counter()
         for record in self.records:
             if selector == UNILOC1:
                 chosen = record.decision.selected
-            elif selector == OPTSEL:
-                chosen = record.oracle.scheme if record.oracle else None
             else:
-                raise ValueError(f"unknown selector {selector!r}")
+                chosen = record.oracle.scheme if record.oracle else None
             if chosen is not None:
                 counts[chosen] += 1
         total = sum(counts.values())
@@ -124,8 +128,14 @@ def run_walk(
     path_name: str,
     walk: Walk,
     snapshots: list[SensorSnapshot],
+    trace: TraceWriter | None = None,
 ) -> WalkResult:
     """Drive one recorded walk through UniLoc and score every step.
+
+    When ``trace`` is given, every step's decision telemetry plus the
+    ground-truth errors are appended to the JSONL stream as the walk
+    runs (see :mod:`repro.obs.trace_log`), so a crash mid-walk still
+    leaves a replayable prefix on disk.
 
     Raises:
         ValueError: if the walk and trace lengths differ.
@@ -142,25 +152,36 @@ def run_walk(
             if output is not None
         }
         oracle = select_best(decision.outputs, moment.position)
-        result.records.append(
-            StepRecord(
-                moment=moment,
-                environment=place.environment_at(moment.position),
-                decision=decision,
-                scheme_errors=scheme_errors,
-                uniloc1_error=(
-                    decision.uniloc1_position.distance_to(moment.position)
-                    if decision.uniloc1_position is not None
-                    else None
-                ),
-                uniloc2_error=(
-                    decision.uniloc2_position.distance_to(moment.position)
-                    if decision.uniloc2_position is not None
-                    else None
-                ),
-                oracle=oracle,
-            )
+        record = StepRecord(
+            moment=moment,
+            environment=place.environment_at(moment.position),
+            decision=decision,
+            scheme_errors=scheme_errors,
+            uniloc1_error=(
+                decision.uniloc1_position.distance_to(moment.position)
+                if decision.uniloc1_position is not None
+                else None
+            ),
+            uniloc2_error=(
+                decision.uniloc2_position.distance_to(moment.position)
+                if decision.uniloc2_position is not None
+                else None
+            ),
+            oracle=oracle,
         )
+        result.records.append(record)
+        if trace is not None:
+            trace.write_step(
+                decision,
+                index=moment.index,
+                time_s=moment.time_s,
+                environment=record.environment.value,
+                scheme_errors=scheme_errors,
+                uniloc1_error=record.uniloc1_error,
+                uniloc2_error=record.uniloc2_error,
+                oracle_scheme=oracle.scheme if oracle is not None else None,
+                oracle_error=oracle.error if oracle is not None else None,
+            )
     return result
 
 

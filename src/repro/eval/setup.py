@@ -14,7 +14,7 @@ This module encodes the paper's experimental protocol:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,57 @@
+"""Observability: metrics, tracing, step-trace export, and reporting.
+
+The layer is dependency-free (standard library only) and designed so
+instrumentation can stay permanently wired into the hot paths:
+:data:`NOOP_TRACER` is the default everywhere and its disabled span
+costs one attribute lookup.  See README's "Observability" section for
+the JSONL trace schema and CLI workflow.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    percentile,
+)
+from repro.obs.report import (
+    SchemeSummary,
+    TraceSummary,
+    render_report,
+    summarize_trace,
+)
+from repro.obs.trace_log import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceWriter,
+    decision_from_dict,
+    decision_to_dict,
+    iter_trace,
+    read_trace,
+)
+from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "NOOP_TRACER",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "SchemeSummary",
+    "Span",
+    "Timer",
+    "TraceSummary",
+    "TraceWriter",
+    "Tracer",
+    "decision_from_dict",
+    "decision_to_dict",
+    "iter_trace",
+    "percentile",
+    "read_trace",
+    "render_report",
+    "summarize_trace",
+]

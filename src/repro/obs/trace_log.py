@@ -1,0 +1,254 @@
+"""JSONL step-trace export: a replayable event stream of UniLoc decisions.
+
+Every location-estimation step becomes one JSON line carrying the full
+decision telemetry — predicted errors, confidences, BMA weights, tau,
+the indoor flag, the selected scheme, the GPS power state, and the
+per-scheme estimate latency.  A trace file is therefore a faithful
+record of *why* UniLoc behaved the way it did on a walk, and
+``repro report`` (see :mod:`repro.obs.report`) aggregates it back into
+the paper's usage/latency/duty-cycle tables without re-running anything.
+
+File layout (one JSON object per line):
+
+* line 1 — ``{"type": "meta", "format": "uniloc_trace", "version": 1,
+  "place": ..., "path": ...}``
+* every other line — ``{"type": "step", "index": ..., "decision": ...}``
+  plus optional ground-truth fields when the producer knows them
+  (``scheme_errors``, ``uniloc1_error``, ``uniloc2_error``, ``oracle``).
+
+Non-finite floats (an unavailable step's ``tau`` is NaN) are encoded as
+``null`` so the stream stays strict JSON for non-Python consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+TRACE_FORMAT = "uniloc_trace"
+TRACE_VERSION = 1
+
+
+def _finite(value: float | None) -> float | None:
+    """Map non-finite floats to None (JSON has no NaN/Inf)."""
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
+
+
+def _finite_map(values: dict[str, float]) -> dict[str, float | None]:
+    return {name: _finite(v) for name, v in values.items()}
+
+
+def decision_to_dict(decision: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.framework.StepDecision` to JSON-ready form.
+
+    Scheme outputs are reduced to their point estimate and spread — the
+    particle clouds and candidate lists are deliberately dropped (they
+    are reproducible from the recorded sensor trace and would bloat the
+    stream by orders of magnitude).
+    """
+    return {
+        "outputs": {
+            name: (
+                None
+                if out is None
+                else {
+                    "x": out.position.x,
+                    "y": out.position.y,
+                    "spread": _finite(out.spread),
+                }
+            )
+            for name, out in decision.outputs.items()
+        },
+        "predicted_errors": _finite_map(decision.predicted_errors),
+        "confidences": _finite_map(decision.confidences),
+        "weights": _finite_map(decision.weights),
+        "tau": _finite(decision.tau),
+        "indoor": decision.indoor,
+        "selected": decision.selected,
+        "uniloc1": (
+            None
+            if decision.uniloc1_position is None
+            else {"x": decision.uniloc1_position.x, "y": decision.uniloc1_position.y}
+        ),
+        "uniloc2": (
+            None
+            if decision.uniloc2_position is None
+            else {"x": decision.uniloc2_position.x, "y": decision.uniloc2_position.y}
+        ),
+        "gps_enabled": decision.gps_enabled,
+        "scheme_latency_ms": _finite_map(decision.scheme_latency_ms),
+    }
+
+
+def decision_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a ``StepDecision`` from :func:`decision_to_dict` output.
+
+    The reconstruction is lossy by design: each available scheme comes
+    back as a point-estimate-only ``SchemeOutput`` (no particles, no
+    candidates).  All selection telemetry round-trips exactly.
+    """
+    # Imported here so the obs layer stays import-light and cycle-free.
+    from repro.core.framework import StepDecision
+    from repro.geometry import Point
+    from repro.schemes.base import SchemeOutput
+
+    def _point(p: dict[str, float] | None) -> Point | None:
+        return None if p is None else Point(p["x"], p["y"])
+
+    def _floats(values: dict[str, float | None]) -> dict[str, float]:
+        return {
+            name: float("nan") if v is None else float(v)
+            for name, v in values.items()
+        }
+
+    return StepDecision(
+        outputs={
+            name: (
+                None
+                if out is None
+                else SchemeOutput(
+                    position=Point(out["x"], out["y"]),
+                    spread=float("nan") if out["spread"] is None else out["spread"],
+                )
+            )
+            for name, out in data["outputs"].items()
+        },
+        predicted_errors=_floats(data["predicted_errors"]),
+        confidences=_floats(data["confidences"]),
+        weights=_floats(data["weights"]),
+        tau=float("nan") if data["tau"] is None else float(data["tau"]),
+        indoor=data["indoor"],
+        selected=data["selected"],
+        uniloc1_position=_point(data["uniloc1"]),
+        uniloc2_position=_point(data["uniloc2"]),
+        gps_enabled=data["gps_enabled"],
+        scheme_latency_ms=_floats(data["scheme_latency_ms"]),
+    )
+
+
+class TraceWriter:
+    """Streams step events to a JSONL file as a walk runs.
+
+    Usage::
+
+        with TraceWriter(path, place="daily", path_name="path1") as trace:
+            decision = framework.step(snapshot)
+            trace.write_step(decision, index=i, time_s=snapshot.time_s)
+    """
+
+    def __init__(
+        self, path: str | Path, place: str = "", path_name: str = ""
+    ) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w")
+        self.n_steps = 0
+        self.write_event(
+            {
+                "type": "meta",
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "place": place,
+                "path": path_name,
+            }
+        )
+
+    def write_event(self, event: dict[str, Any]) -> None:
+        """Append one raw event line.
+
+        Raises:
+            ValueError: if the writer was already closed.
+        """
+        if self._fh is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def write_step(
+        self,
+        decision: Any,
+        *,
+        index: int | None = None,
+        time_s: float | None = None,
+        environment: str | None = None,
+        scheme_errors: dict[str, float] | None = None,
+        uniloc1_error: float | None = None,
+        uniloc2_error: float | None = None,
+        oracle_scheme: str | None = None,
+        oracle_error: float | None = None,
+    ) -> None:
+        """Append one step event; ground-truth fields are optional."""
+        event: dict[str, Any] = {
+            "type": "step",
+            "index": self.n_steps if index is None else index,
+            "decision": decision_to_dict(decision),
+        }
+        if time_s is not None:
+            event["time_s"] = time_s
+        if environment is not None:
+            event["environment"] = environment
+        if scheme_errors is not None:
+            event["scheme_errors"] = _finite_map(scheme_errors)
+        if uniloc1_error is not None:
+            event["uniloc1_error"] = _finite(uniloc1_error)
+        if uniloc2_error is not None:
+            event["uniloc2_error"] = _finite(uniloc2_error)
+        if oracle_scheme is not None:
+            event["oracle"] = {"scheme": oracle_scheme, "error": _finite(oracle_error)}
+        self.write_event(event)
+        self.n_steps += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> TraceWriter:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def iter_trace(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield every event in a JSONL trace, meta line included.
+
+    Raises:
+        ValueError: if the first line is not a compatible meta event.
+    """
+    with Path(path).open() as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{path} is empty, not a trace")
+        try:
+            meta = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:1: not JSON ({exc.msg})") from exc
+        if not isinstance(meta, dict) or meta.get("type") != "meta":
+            raise ValueError(f"{path} does not start with a {TRACE_FORMAT} meta line")
+        if meta.get("format") != TRACE_FORMAT:
+            raise ValueError(f"{path} does not start with a {TRACE_FORMAT} meta line")
+        if meta.get("version", 0) > TRACE_VERSION:
+            raise ValueError(f"{path} was written by a newer version of repro")
+        yield meta
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc.msg})") from exc
+
+
+def read_trace(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read a whole trace; returns ``(meta, step_events)``.
+
+    Raises:
+        ValueError: on a missing/incompatible meta line.
+    """
+    events = iter_trace(path)
+    meta = next(events)
+    return meta, [e for e in events if e.get("type") == "step"]

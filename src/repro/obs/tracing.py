@@ -1,0 +1,187 @@
+"""Structured step tracing: wall-time span trees for the UniLoc pipeline.
+
+A :class:`Tracer` records nested :class:`Span`\\ s — one tree per
+top-level operation (typically one ``uniloc.step``)::
+
+    with tracer.span("uniloc.step"):
+        with tracer.span("scheme.estimate", scheme="wifi"):
+            ...
+
+Every completed root lands in :attr:`Tracer.roots`, so a 200-step walk
+yields 200 step trees whose children break the latency down into
+scheme execution, error prediction, and BMA mixing.
+
+The default tracer everywhere is the module singleton
+:data:`NOOP_TRACER`.  Its ``span()`` returns a cached, stateless context
+manager, so the disabled hot path costs one attribute lookup plus an
+empty ``with`` — small enough to leave the instrumentation permanently
+compiled into ``UniLocFramework.step()`` (the "near-zero-cost when
+disabled" requirement of the low-overhead localization literature).
+
+Tracers are deliberately single-threaded: one walker, one tracer.  Give
+each concurrent walk its own :class:`Tracer` and merge the exported
+dicts afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly with nested children."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float = 0.0
+    children: list[Span] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> float:
+        """Return the span's wall time in milliseconds."""
+        return (self.end_s - self.start_s) * 1e3
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span after it was opened."""
+        self.attrs.update(attrs)
+
+    def find(self, name: str) -> Span | None:
+        """Return the first descendant (depth-first) with this name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> list[Span]:
+        """Return this span and every descendant, depth-first."""
+        spans = [self]
+        for child in self.children:
+            spans.extend(child.walk())
+        return spans
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the span tree into JSON-ready dicts."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "duration_ms": self.duration_ms,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _SpanContext:
+    """Binds one span to the tracer stack for a ``with`` block."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        self.span.start_s = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc: object) -> None:
+        self.span.end_s = time.perf_counter()
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Records span trees; one root per top-level ``with tracer.span(...)``."""
+
+    enabled: bool = True
+
+    def __init__(self, max_roots: int | None = None) -> None:
+        #: Completed top-level spans, oldest first.
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._max_roots = max_roots
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; nests under whatever span is currently active."""
+        return _SpanContext(self, Span(name=name, attrs=attrs))
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+            if self._max_roots is not None and len(self.roots) > self._max_roots:
+                del self.roots[0]
+
+    @property
+    def current(self) -> Span | None:
+        """Return the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all recorded roots (open spans are left alone)."""
+        self.roots.clear()
+
+    def last_root(self) -> Span | None:
+        """Return the most recently completed top-level span."""
+        return self.roots[-1] if self.roots else None
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialize every completed root tree."""
+        return [root.to_dict() for root in self.roots]
+
+
+class _NoopSpan:
+    """A stateless span stand-in; everything is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    @property
+    def duration_ms(self) -> float:
+        return 0.0
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: ``span()`` hands back one shared no-op span."""
+
+    enabled: bool = False
+
+    def span(self, name: str, **attrs: Any) -> _NoopSpan:
+        """Return the shared no-op span (never records anything)."""
+        return _NOOP_SPAN
+
+    def reset(self) -> None:
+        """Nothing to drop."""
+
+    def last_root(self) -> None:
+        """A no-op tracer never has roots."""
+        return None
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """A no-op tracer never has roots."""
+        return []
+
+
+#: The shared disabled tracer; the default for every instrumented object.
+NOOP_TRACER = NoopTracer()

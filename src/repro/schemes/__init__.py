@@ -1,6 +1,6 @@
 """The individual localization schemes UniLoc aggregates."""
 
-from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.schemes.base import LocalizationScheme, SchemeOutput, TimedScheme
 from repro.schemes.bootstrap import StartEstimate, ZeeBootstrap, bootstrap_start
 from repro.schemes.cell_id import CellIdScheme
 from repro.schemes.fingerprinting import (
@@ -33,5 +33,6 @@ __all__ = [
     "PdrScheme",
     "RadarScheme",
     "SchemeOutput",
+    "TimedScheme",
     "compensate_steps",
 ]

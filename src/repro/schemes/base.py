@@ -12,11 +12,13 @@ rasterizes any of the three shapes onto the place grid to get the
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.geometry import Grid, Point
+from repro.obs.metrics import Histogram
 from repro.sensors import SensorSnapshot
 
 
@@ -100,3 +102,41 @@ class LocalizationScheme(abc.ABC):
 
     def reset(self) -> None:
         """Clear any internal state before a new walk (default: none)."""
+
+
+class TimedScheme(LocalizationScheme):
+    """Wrap any scheme, recording ``estimate()`` wall time per call.
+
+    UniLoc treats schemes as black boxes, and this wrapper keeps that
+    contract: it changes nothing about the inner scheme's behavior while
+    feeding every call's latency (and the availability count) into a
+    :class:`~repro.obs.metrics.Histogram` — the per-scheme share of the
+    paper's Table V response-time breakdown.  Unlike the framework's own
+    span timing, the wrapper measures even when tracing is disabled,
+    which makes it the right tool for standalone scheme benchmarking::
+
+        timed = TimedScheme(WifiFingerprinting(db))
+        ...
+        print(timed.latency_ms.summary())
+    """
+
+    def __init__(
+        self, inner: LocalizationScheme, histogram: Histogram | None = None
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        #: Latency of every ``estimate()`` call, in milliseconds.
+        self.latency_ms = histogram if histogram is not None else Histogram()
+        #: How many calls returned an output (vs. unavailable).
+        self.n_available = 0
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        start = time.perf_counter()
+        output = self.inner.estimate(snapshot)
+        self.latency_ms.observe((time.perf_counter() - start) * 1e3)
+        if output is not None:
+            self.n_available += 1
+        return output
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval import PlaceSetup, build_framework
+from repro.eval import PlaceSetup
 from repro.eval.experiments import shared_models
 
 

@@ -1,6 +1,5 @@
 """Tests for the related-work baselines (A-Loc, global-weight BMA)."""
 
-import numpy as np
 import pytest
 
 from repro.core import ALocSelector, GlobalWeightBma, OfflineErrorMap

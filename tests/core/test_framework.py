@@ -101,6 +101,125 @@ def test_reset_clears_scheme_state(framework, office_system):
     assert decision.uniloc2_position is not None
 
 
+def test_error_prediction_runs_once_per_step(framework, office_system):
+    """The GPS policy must reuse the shared error predictions (no recompute)."""
+    calls = 0
+    original = framework._predict_errors
+
+    def counting(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return original(*args, **kwargs)
+
+    framework._predict_errors = counting
+    framework.step(office_system["snaps"][1])
+    assert calls == 1
+
+
+def test_bma_fallback_prefers_highest_confidence(framework):
+    """A degenerate (all-zero) mixture falls back to the most trusted output."""
+    from repro.geometry import Point
+    from repro.schemes.base import SchemeOutput
+
+    low = SchemeOutput(position=Point(1.0, 1.0), spread=2.0)
+    high = SchemeOutput(position=Point(9.0, 9.0), spread=2.0)
+    outputs = {"low": low, "high": high, "off": None}
+    position = framework._bma_estimate(
+        outputs, {"low": 0.0, "high": 0.0}, {"low": 0.2, "high": 0.9}
+    )
+    assert position == high.position
+
+
+def test_tracer_records_step_tree_and_latencies(framework, office_system):
+    from repro.obs import Tracer
+
+    framework.tracer = Tracer()
+    decision = framework.step(office_system["snaps"][1])
+    root = framework.tracer.last_root()
+    assert root.name == "uniloc.step"
+    names = {span.name for span in root.walk()}
+    assert {"uniloc.iodetect", "uniloc.predict_errors", "uniloc.bma"} <= names
+    estimates = [s for s in root.walk() if s.name == "scheme.estimate"]
+    assert {s.attrs["scheme"] for s in estimates} == set(decision.scheme_latency_ms)
+    assert all(ms >= 0.0 for ms in decision.scheme_latency_ms.values())
+
+
+def test_noop_tracer_records_nothing(framework, office_system):
+    decision = framework.step(office_system["snaps"][1])
+    assert decision.scheme_latency_ms == {}
+    assert framework.tracer.last_root() is None
+
+
+def test_metrics_registry_counts_steps(framework, office_system):
+    from repro.obs import MetricsRegistry, Tracer
+
+    framework.tracer = Tracer()
+    framework.metrics = MetricsRegistry()
+    for snap in office_system["snaps"][:10]:
+        framework.step(snap)
+    flat = framework.metrics.as_dict()
+    assert flat["uniloc.steps"] == 10
+    assert flat["uniloc.step_ms"]["count"] == 10
+    selected = sum(
+        count for name, count in flat.items() if name.startswith("uniloc.selected.")
+    )
+    assert selected + flat.get("uniloc.steps_without_estimate", 0) == 10
+
+
+def test_run_walk_emits_aggregatable_trace(framework, office_system, tmp_path):
+    """A traced walk's JSONL stream must aggregate back into the same
+    usage shares and duty cycle the in-memory WalkResult reports."""
+    import pytest as _pytest
+
+    from repro.obs import TraceWriter, Tracer, read_trace, summarize_trace
+
+    setup, walk, snaps = (
+        office_system["setup"],
+        office_system["walk"],
+        office_system["snaps"],
+    )
+    framework.tracer = Tracer()
+    path = tmp_path / "steps.jsonl"
+    with TraceWriter(path, place=setup.place.name, path_name="survey") as tw:
+        result = run_walk(framework, setup.place, "survey", walk, snaps, trace=tw)
+    meta, steps = read_trace(path)
+    assert len(steps) == len(result.records)
+    summary = summarize_trace(meta, steps)
+    assert summary.gps_duty_cycle == _pytest.approx(result.gps_duty_cycle())
+    for name, share in result.usage("uniloc1").items():
+        assert summary.schemes[name].usage == _pytest.approx(
+            share * summary.estimate_rate
+        )
+    wifi_latency = summary.schemes["wifi"].latency
+    assert wifi_latency.count > 0
+    assert wifi_latency.percentile(99) >= wifi_latency.percentile(50) > 0.0
+
+
+def test_noop_tracer_overhead_under_5_percent(framework, office_system):
+    """Benchmark-style bound: the disabled instrumentation path (no-op
+    spans) must cost well under 5% of a 200-step walk's wall time."""
+    import time
+
+    from repro.obs import NOOP_TRACER
+
+    snaps = office_system["snaps"][:200]
+    framework.reset()
+    start = time.perf_counter()
+    for snap in snaps:
+        framework.step(snap)
+    walk_s = time.perf_counter() - start
+
+    # The disabled path opens 5 no-op spans per step (step, iodetect,
+    # predict_errors, bma, hmm_observe); measure their unit cost.
+    iterations = 20_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with NOOP_TRACER.span("uniloc.step"):
+            pass
+    per_span_s = (time.perf_counter() - start) / iterations
+    assert 5 * len(snaps) * per_span_s < 0.05 * walk_s
+
+
 def test_run_walk_integration(framework, office_system):
     setup, walk, snaps = (
         office_system["setup"],

@@ -7,7 +7,6 @@ the ensemble keeps operating on whatever remains.
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.eval import build_framework, run_walk

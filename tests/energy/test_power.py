@@ -3,7 +3,6 @@
 import pytest
 
 from repro.energy import (
-    BASE_PLATFORM_MW,
     GPS_MW,
     EnergyReport,
     gps_saving_factor,

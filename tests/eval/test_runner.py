@@ -70,3 +70,84 @@ def test_gps_duty_cycle_bounded(result):
 
 def test_empty_result_duty_cycle():
     assert WalkResult("p", "w").gps_duty_cycle() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# WalkResult unit coverage on synthetic records (no simulation needed)
+# ---------------------------------------------------------------------------
+
+
+def make_record(selected="wifi", error=1.0, gps_enabled=False, env=Env.OFFICE):
+    from repro.core import StepDecision
+    from repro.eval.runner import StepRecord
+    from repro.geometry import Point
+    from repro.motion import Moment
+
+    decision = StepDecision(
+        outputs={},
+        predicted_errors={},
+        confidences={},
+        weights={},
+        tau=float("nan"),
+        indoor=False,
+        selected=selected,
+        uniloc1_position=None,
+        uniloc2_position=None,
+        gps_enabled=gps_enabled,
+    )
+    moment = Moment(
+        index=0,
+        time_s=0.0,
+        position=Point(0.0, 0.0),
+        heading=0.0,
+        arc_length=0.0,
+        step_length=0.7,
+        step_period=0.5,
+    )
+    return StepRecord(
+        moment=moment,
+        environment=env,
+        decision=decision,
+        scheme_errors={"wifi": error},
+        uniloc1_error=error,
+        uniloc2_error=error,
+        oracle=None,
+    )
+
+
+def test_merge_results_heterogeneous_paths():
+    a = WalkResult("daily", "path1", records=[make_record(error=1.0)])
+    b = WalkResult(
+        "daily",
+        "path2",
+        records=[make_record(error=3.0, env=Env.STREET), make_record(error=5.0)],
+    )
+    merged = merge_results([a, b])
+    assert merged.path_name == "path1+path2"
+    assert merged.place_name == "daily"
+    assert len(merged.records) == 3
+    assert merged.errors("uniloc2") == [1.0, 3.0, 5.0]
+    assert merged.mean_error("wifi") == pytest.approx(3.0)
+    assert merged.errors_in("wifi", Env.STREET) == [3.0]
+    # Merging leaves the inputs untouched.
+    assert len(a.records) == 1 and len(b.records) == 2
+
+
+def test_usage_unknown_selector_raises_even_when_empty():
+    with pytest.raises(ValueError):
+        WalkResult("p", "w").usage("coin_flip")
+
+
+def test_empty_result_is_fully_inert():
+    empty = WalkResult("p", "w")
+    assert empty.gps_duty_cycle() == 0.0
+    assert empty.usage() == {}
+    assert empty.usage("optsel") == {}
+    assert empty.errors("uniloc1") == []
+    with pytest.raises(ValueError):
+        empty.mean_error("wifi")
+
+
+def test_decision_default_has_no_latencies():
+    record = make_record()
+    assert record.decision.scheme_latency_ms == {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval import PlaceSetup, survey_points
+from repro.eval import survey_points
 from repro.eval.experiments import place_setup
 from repro.world import build_daily_path_place
 

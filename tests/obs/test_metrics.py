@@ -1,0 +1,104 @@
+"""Tests for the metrics registry: counters, gauges, histograms, timers."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, percentile
+
+
+def test_counter_increments():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_set_and_add():
+    g = Gauge()
+    g.set(3.5)
+    g.add(-1.0)
+    assert g.value == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize("p", [0, 10, 25, 50, 75, 90, 99, 100])
+def test_percentile_matches_numpy(p):
+    rng = np.random.default_rng(7)
+    values = rng.exponential(5.0, size=137).tolist()
+    assert percentile(values, p) == pytest.approx(
+        float(np.percentile(values, p, method="linear"))
+    )
+
+
+def test_percentile_single_value_and_errors():
+    assert percentile([4.2], 90) == 4.2
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_histogram_summary():
+    h = Histogram()
+    for v in range(1, 101):
+        h.observe(float(v))
+    s = h.summary()
+    assert s["count"] == 100
+    assert s["mean"] == pytest.approx(50.5)
+    assert s["p50"] == pytest.approx(np.percentile(range(1, 101), 50))
+    assert s["p90"] == pytest.approx(np.percentile(range(1, 101), 90))
+    assert s["p99"] == pytest.approx(np.percentile(range(1, 101), 99))
+    assert s["min"] == 1.0
+    assert s["max"] == 100.0
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.summary() == {"count": 0}
+    with pytest.raises(ValueError):
+        h.mean
+    with pytest.raises(ValueError):
+        h.percentile(50)
+
+
+def test_timer_records_elapsed_ms():
+    registry = MetricsRegistry()
+    with registry.timer("op_ms") as t:
+        pass
+    assert t.elapsed_ms >= 0.0
+    assert registry.histogram("op_ms").count == 1
+
+
+def test_registry_reuses_instruments():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    registry.counter("a").inc()
+    registry.counter("a").inc()
+    assert registry.counter("a").value == 2
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_as_dict_and_render():
+    registry = MetricsRegistry()
+    registry.counter("steps").inc(3)
+    registry.gauge("tau").set(2.5)
+    registry.histogram("lat_ms").observe(1.0)
+    registry.histogram("lat_ms").observe(3.0)
+    flat = registry.as_dict()
+    assert flat["steps"] == 3
+    assert flat["tau"] == 2.5
+    assert flat["lat_ms"]["count"] == 2
+    rendered = registry.render()
+    assert "steps" in rendered
+    assert "lat_ms" in rendered
+    assert "p99" in rendered

@@ -1,0 +1,117 @@
+"""Tests for trace aggregation and report rendering."""
+
+import pytest
+
+from repro.obs import render_report, summarize_trace
+
+
+def step_event(
+    *,
+    selected,
+    outputs,
+    latencies=None,
+    errors=None,
+    gps_enabled=False,
+    indoor=False,
+    tau=5.0,
+    uniloc1_error=None,
+    uniloc2_error=None,
+):
+    """Build a minimal step event the way trace_log writes them."""
+    event = {
+        "type": "step",
+        "decision": {
+            "outputs": {
+                name: ({"x": 0.0, "y": 0.0, "spread": 1.0} if ok else None)
+                for name, ok in outputs.items()
+            },
+            "predicted_errors": {},
+            "confidences": {},
+            "weights": {},
+            "tau": tau,
+            "indoor": indoor,
+            "selected": selected,
+            "uniloc1": None,
+            "uniloc2": None,
+            "gps_enabled": gps_enabled,
+            "scheme_latency_ms": latencies or {},
+        },
+    }
+    if errors is not None:
+        event["scheme_errors"] = errors
+    if uniloc1_error is not None:
+        event["uniloc1_error"] = uniloc1_error
+    if uniloc2_error is not None:
+        event["uniloc2_error"] = uniloc2_error
+    return event
+
+
+@pytest.fixture()
+def events():
+    out = []
+    # 8 wifi-selected steps with wifi+gps available, GPS powered on 2.
+    for i in range(8):
+        out.append(
+            step_event(
+                selected="wifi",
+                outputs={"wifi": True, "gps": True},
+                latencies={"wifi": 1.0 + i, "gps": 10.0},
+                errors={"wifi": 2.0, "gps": 8.0},
+                gps_enabled=i < 2,
+                indoor=True,
+                uniloc1_error=2.0,
+                uniloc2_error=1.5,
+            )
+        )
+    # 2 steps where nothing was available.
+    for _ in range(2):
+        out.append(
+            step_event(
+                selected=None,
+                outputs={"wifi": False, "gps": False},
+                tau=None,
+            )
+        )
+    return out
+
+
+def test_summary_counts(events):
+    summary = summarize_trace({"place": "office", "path": "survey"}, events)
+    assert summary.steps == 10
+    assert summary.estimate_rate == pytest.approx(0.8)
+    assert summary.gps_duty_cycle == pytest.approx(0.2)
+    assert summary.indoor_fraction == pytest.approx(0.8)
+    assert summary.tau.count == 8  # null tau steps are skipped
+    assert summary.uniloc1_errors.mean == pytest.approx(2.0)
+    assert summary.uniloc2_errors.mean == pytest.approx(1.5)
+
+
+def test_per_scheme_usage_availability_latency(events):
+    summary = summarize_trace({}, events)
+    wifi = summary.schemes["wifi"]
+    assert wifi.availability == pytest.approx(0.8)
+    assert wifi.usage == pytest.approx(0.8)
+    assert wifi.latency.count == 8
+    assert wifi.latency.percentile(50) == pytest.approx(4.5)
+    assert wifi.errors.mean == pytest.approx(2.0)
+    gps = summary.schemes["gps"]
+    assert gps.usage == 0.0
+    assert gps.latency.percentile(90) == pytest.approx(10.0)
+
+
+def test_render_report_mentions_everything(events):
+    summary = summarize_trace({"place": "office", "path": "survey"}, events)
+    text = render_report(summary)
+    assert "office/survey" in text
+    assert "wifi" in text and "gps" in text
+    assert "p50" in text and "p99" in text
+    assert "GPS duty cycle 20.0%" in text
+    assert "uniloc2 error mean 1.50" in text
+
+
+def test_empty_trace_renders():
+    summary = summarize_trace({"place": "p", "path": "w"}, [])
+    assert summary.steps == 0
+    assert summary.estimate_rate == 0.0
+    text = render_report(summary)
+    assert "0 steps" in text

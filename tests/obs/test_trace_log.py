@@ -1,0 +1,114 @@
+"""Tests for the JSONL step-trace exporter and StepDecision round-trip."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.framework import StepDecision
+from repro.geometry import Point
+from repro.obs import (
+    TraceWriter,
+    decision_from_dict,
+    decision_to_dict,
+    iter_trace,
+    read_trace,
+)
+from repro.schemes.base import SchemeOutput
+
+
+def make_decision() -> StepDecision:
+    wifi = SchemeOutput(position=Point(3.0, 4.0), spread=2.5)
+    return StepDecision(
+        outputs={"wifi": wifi, "gps": None},
+        predicted_errors={"wifi": 1.5, "gps": 13.5},
+        confidences={"wifi": 0.8},
+        weights={"wifi": 1.0},
+        tau=7.5,
+        indoor=True,
+        selected="wifi",
+        uniloc1_position=Point(3.0, 4.0),
+        uniloc2_position=Point(3.1, 4.2),
+        gps_enabled=False,
+        scheme_latency_ms={"wifi": 0.42},
+    )
+
+
+def test_decision_round_trip():
+    original = make_decision()
+    rebuilt = decision_from_dict(decision_to_dict(original))
+    assert rebuilt.predicted_errors == original.predicted_errors
+    assert rebuilt.confidences == original.confidences
+    assert rebuilt.weights == original.weights
+    assert rebuilt.tau == original.tau
+    assert rebuilt.indoor == original.indoor
+    assert rebuilt.selected == original.selected
+    assert rebuilt.uniloc1_position == original.uniloc1_position
+    assert rebuilt.uniloc2_position == original.uniloc2_position
+    assert rebuilt.gps_enabled == original.gps_enabled
+    assert rebuilt.scheme_latency_ms == original.scheme_latency_ms
+    assert rebuilt.outputs["gps"] is None
+    assert rebuilt.outputs["wifi"].position == original.outputs["wifi"].position
+    assert rebuilt.outputs["wifi"].spread == original.outputs["wifi"].spread
+    assert rebuilt.available_schemes() == ["wifi"]
+
+
+def test_nan_tau_round_trips_as_null():
+    decision = make_decision()
+    decision.tau = float("nan")
+    encoded = decision_to_dict(decision)
+    assert encoded["tau"] is None
+    # The line must be strict JSON (no bare NaN tokens).
+    assert "NaN" not in json.dumps(encoded)
+    rebuilt = decision_from_dict(encoded)
+    assert math.isnan(rebuilt.tau)
+
+
+def test_writer_round_trip(tmp_path):
+    path = tmp_path / "steps.jsonl"
+    with TraceWriter(path, place="office", path_name="survey") as tw:
+        tw.write_step(
+            make_decision(),
+            index=0,
+            time_s=0.5,
+            environment="office",
+            scheme_errors={"wifi": 1.2},
+            uniloc1_error=1.2,
+            uniloc2_error=1.1,
+            oracle_scheme="wifi",
+            oracle_error=1.2,
+        )
+        tw.write_step(make_decision())
+        assert tw.n_steps == 2
+    meta, steps = read_trace(path)
+    assert meta["place"] == "office"
+    assert meta["path"] == "survey"
+    assert len(steps) == 2
+    assert steps[0]["environment"] == "office"
+    assert steps[0]["oracle"] == {"scheme": "wifi", "error": 1.2}
+    assert steps[1]["index"] == 1  # auto-numbered
+    rebuilt = decision_from_dict(steps[0]["decision"])
+    assert rebuilt.selected == "wifi"
+
+
+def test_writer_close_is_idempotent_and_guards_writes(tmp_path):
+    tw = TraceWriter(tmp_path / "t.jsonl")
+    tw.close()
+    tw.close()
+    with pytest.raises(ValueError):
+        tw.write_event({"type": "step"})
+
+
+def test_iter_trace_rejects_non_traces(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        list(iter_trace(empty))
+    wrong = tmp_path / "wrong.jsonl"
+    wrong.write_text('{"type": "meta", "format": "something_else"}\n')
+    with pytest.raises(ValueError):
+        list(iter_trace(wrong))
+    newer = tmp_path / "newer.jsonl"
+    newer.write_text('{"type": "meta", "format": "uniloc_trace", "version": 99}\n')
+    with pytest.raises(ValueError):
+        list(iter_trace(newer))

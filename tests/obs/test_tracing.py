@@ -1,0 +1,100 @@
+"""Tests for the span tracer and its no-op fast path."""
+
+import time
+
+from repro.obs import NOOP_TRACER, NoopTracer, Tracer
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer()
+    with tracer.span("step"):
+        with tracer.span("schemes"):
+            with tracer.span("estimate", scheme="wifi"):
+                pass
+            with tracer.span("estimate", scheme="gps"):
+                pass
+        with tracer.span("bma"):
+            pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "step"
+    assert [c.name for c in root.children] == ["schemes", "bma"]
+    schemes = root.children[0]
+    assert [c.attrs["scheme"] for c in schemes.children] == ["wifi", "gps"]
+
+
+def test_span_durations_nest_consistently():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            time.sleep(0.002)
+    root = tracer.roots[0]
+    inner = root.children[0]
+    assert inner.duration_ms >= 2.0
+    assert root.duration_ms >= inner.duration_ms
+
+
+def test_find_and_walk():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+    root = tracer.last_root()
+    assert root.find("c").name == "c"
+    assert root.find("nope") is None
+    assert [s.name for s in root.walk()] == ["a", "b", "c"]
+
+
+def test_annotate_and_to_dict():
+    tracer = Tracer()
+    with tracer.span("step") as span:
+        span.annotate(selected="wifi")
+    exported = tracer.to_dicts()
+    assert exported[0]["name"] == "step"
+    assert exported[0]["attrs"]["selected"] == "wifi"
+    assert exported[0]["duration_ms"] >= 0.0
+
+
+def test_sequential_roots_and_reset():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("step"):
+            pass
+    assert len(tracer.roots) == 3
+    tracer.reset()
+    assert tracer.roots == []
+    assert tracer.last_root() is None
+
+
+def test_max_roots_bounds_memory():
+    tracer = Tracer(max_roots=2)
+    for i in range(5):
+        with tracer.span(f"step{i}"):
+            pass
+    assert [r.name for r in tracer.roots] == ["step3", "step4"]
+
+
+def test_current_tracks_open_span():
+    tracer = Tracer()
+    assert tracer.current is None
+    with tracer.span("outer"):
+        assert tracer.current.name == "outer"
+        with tracer.span("inner"):
+            assert tracer.current.name == "inner"
+    assert tracer.current is None
+
+
+def test_noop_tracer_is_disabled_and_stateless():
+    assert NOOP_TRACER.enabled is False
+    assert isinstance(NOOP_TRACER, NoopTracer)
+    span_a = NOOP_TRACER.span("step", scheme="wifi")
+    span_b = NOOP_TRACER.span("other")
+    # The fast path hands back one shared, stateless object.
+    assert span_a is span_b
+    with span_a as entered:
+        entered.annotate(ignored=True)
+    assert span_a.duration_ms == 0.0
+    assert NOOP_TRACER.last_root() is None
+    assert NOOP_TRACER.to_dicts() == []
+    NOOP_TRACER.reset()  # must be a harmless no-op

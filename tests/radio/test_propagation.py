@@ -1,6 +1,5 @@
 """Unit tests for the RF propagation model."""
 
-import math
 
 import pytest
 

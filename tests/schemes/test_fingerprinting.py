@@ -5,7 +5,6 @@ import pytest
 from repro.geometry import Point
 from repro.radio import Fingerprint, FingerprintDatabase
 from repro.schemes import CellularScheme, HorusScheme, RadarScheme
-from repro.schemes.fingerprinting import CONTINUITY_ESCAPE_DB
 from repro.sensors.gps import GpsStatus
 from repro.sensors.imu import ImuReading
 from repro.sensors.snapshot import SensorSnapshot

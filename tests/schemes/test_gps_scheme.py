@@ -1,6 +1,5 @@
 """Tests for the GPS scheme."""
 
-import pytest
 
 from repro.geometry import Point
 from repro.schemes import GpsScheme

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.geometry import Point
-from repro.radio import Transmitter, WIFI_MODEL, PropagationModel
+from repro.radio import Transmitter, PropagationModel
 from repro.schemes import ModelBasedScheme
 from repro.sensors.gps import GpsStatus
 from repro.sensors.imu import ImuReading

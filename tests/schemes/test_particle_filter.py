@@ -63,7 +63,6 @@ class TestWalkability:
 
     def test_blocked_particles_lose_weight(self, place):
         pf = make_pf(place)
-        before = pf.weights.copy()
         # Step hard sideways into the wall: most proposals rejected.
         pf.predict(step_length=3.0, heading=np.pi / 2)
         assert pf.weights.sum() == pytest.approx(1.0)

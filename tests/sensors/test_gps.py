@@ -6,7 +6,6 @@ import pytest
 from repro.radio import RadioEnvironment
 from repro.sensors import GpsReceiver
 from repro.world import NTU_FRAME, build_daily_path_place, build_open_space_place
-from repro.world import EnvironmentType as Env
 
 
 @pytest.fixture(scope="module")

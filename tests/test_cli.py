@@ -52,6 +52,75 @@ def test_record_unknown_path(tmp_path, capsys):
     assert main(["record", "office", "nopath", "--out", str(tmp_path / "x.json")]) == 2
 
 
+def _write_synthetic_trace(path):
+    from repro.core.framework import StepDecision
+    from repro.geometry import Point
+    from repro.obs import TraceWriter
+    from repro.schemes.base import SchemeOutput
+
+    decision = StepDecision(
+        outputs={"wifi": SchemeOutput(position=Point(1.0, 2.0), spread=2.0)},
+        predicted_errors={"wifi": 1.5},
+        confidences={"wifi": 0.9},
+        weights={"wifi": 1.0},
+        tau=1.5,
+        indoor=True,
+        selected="wifi",
+        uniloc1_position=Point(1.0, 2.0),
+        uniloc2_position=Point(1.0, 2.0),
+        gps_enabled=False,
+        scheme_latency_ms={"wifi": 0.3},
+    )
+    with TraceWriter(path, place="office", path_name="survey") as tw:
+        for _ in range(4):
+            tw.write_step(decision, scheme_errors={"wifi": 1.1}, uniloc2_error=1.0)
+
+
+def test_report_summarizes_trace(tmp_path, capsys):
+    trace = tmp_path / "steps.jsonl"
+    _write_synthetic_trace(trace)
+    assert main(["report", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "office/survey" in out
+    assert "4 steps" in out
+    assert "wifi" in out
+    assert "p50" in out
+    assert "GPS duty cycle" in out
+
+
+def test_report_rejects_non_trace(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"not": "a trace"}\n')
+    assert main(["report", str(bogus)]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+    assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_trace_unknown_place_errors(tmp_path, capsys):
+    out_file = tmp_path / "steps.jsonl"
+    assert main(["trace", "atlantis", "path1", "--out", str(out_file)]) == 2
+    assert "unknown place" in capsys.readouterr().err
+
+
+def test_trace_command_emits_reportable_stream(tmp_path, capsys):
+    """End-to-end acceptance: a traced walk -> JSONL -> `repro report`."""
+    out_file = tmp_path / "steps.jsonl"
+    assert main(["trace", "office", "survey", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "step events" in out
+    assert "uniloc.step_ms" in out  # metrics dump
+    from repro.obs import read_trace
+
+    meta, steps = read_trace(out_file)
+    assert meta["place"] == "office"
+    assert len(steps) > 50
+    assert steps[0]["decision"]["scheme_latency_ms"]
+    assert main(["report", str(out_file)]) == 0
+    report = capsys.readouterr().out
+    assert "wifi" in report
+    assert "GPS duty cycle" in report
+
+
 def test_train_saves_models(tmp_path, capsys):
     out_file = tmp_path / "models.json"
     assert main(["train", "--out", str(out_file)]) == 0

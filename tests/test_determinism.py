@@ -5,7 +5,6 @@ identical seeds must agree bit-for-bit — the property that makes the
 benchmark suite's assertions stable.
 """
 
-import pytest
 
 
 def _run_once():
