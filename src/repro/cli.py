@@ -7,9 +7,15 @@ Commands mirror the paper's workflow:
 ``train [--out models.json]``
     Run the one-time error-model training (§III) and optionally save
     the fitted models.
-``run PLACE PATH [--models models.json]``
-    Walk a path with UniLoc and print per-system error statistics, the
-    scheme-usage bars, and a CDF plot.
+``run EXPERIMENT | run PLACE PATH``
+    Either reproduce a registered paper artifact by name (``repro run
+    fig7 --workers 4``; ``repro run --list`` shows the registry), or
+    walk one path with UniLoc and print per-system error statistics,
+    the scheme-usage bars, and a CDF plot.
+``cache ls|clear|warm|key``
+    Manage the persistent artifact cache (surveys, trained models)
+    that the experiment engine reads; see README "Parallel execution
+    & caching".
 ``survey PLACE --out prints.json``
     Deploy a place and dump its Wi-Fi fingerprint survey.
 ``record PLACE PATH --out trace.json``
@@ -23,38 +29,35 @@ Commands mirror the paper's workflow:
     Aggregate a JSONL step trace into per-scheme usage, availability,
     latency percentiles, and duty-cycle stats.
 
-``run`` also accepts ``--trace PATH`` to export the telemetry stream
-while printing its usual evaluation.
+``run PLACE PATH`` also accepts ``--trace PATH`` to export the
+telemetry stream while printing its usual evaluation.  Offline
+artifacts come from the fleet cache: set ``REPRO_CACHE_DIR`` (or pass
+``--cache-dir``) and repeated invocations skip training and surveying.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 
 def _builders():
-    from repro.world import (
-        build_campus_place,
-        build_daily_path_place,
-        build_mall_place,
-        build_office_place,
-        build_open_space_place,
-        build_second_office_place,
-        build_urban_open_space_place,
-    )
+    from repro.fleet import place_builders
 
-    return {
-        "daily": build_daily_path_place,
-        "campus": build_campus_place,
-        "office": build_office_place,
-        "office-2": build_second_office_place,
-        "open-space": build_open_space_place,
-        "urban-open-space": build_urban_open_space_place,
-        "mall": build_mall_place,
-    }
+    return place_builders()
+
+
+def _cache(args: argparse.Namespace):
+    """Return the cache the command should use (honoring ``--cache-dir``)."""
+    from repro.fleet import ArtifactCache, default_cache
+
+    root = getattr(args, "cache_dir", None)
+    if root:
+        return ArtifactCache(root)
+    return default_cache()
 
 
 def cmd_places(_: argparse.Namespace) -> int:
@@ -70,9 +73,7 @@ def cmd_places(_: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     """Train the error models and optionally persist them."""
-    from repro.eval import train_error_models
-
-    models = train_error_models(seed=args.seed)
+    models = _cache(args).error_models(args.seed)
     for name, model_set in models.items():
         for label, model in (("indoor", model_set.indoor), ("outdoor", model_set.outdoor)):
             if model.is_fitted:
@@ -96,10 +97,10 @@ def _prepare_run(args: argparse.Namespace):
     Returns ``(setup, framework, walk, snaps)`` or an exit code on a
     bad place/path.
     """
-    from repro.eval import PlaceSetup, build_framework, train_error_models
+    from repro.eval import build_framework
 
-    builders = _builders()
-    if args.place not in builders:
+    cache = _cache(args)
+    if args.place not in _builders():
         print(f"unknown place {args.place!r}; see `repro places`", file=sys.stderr)
         return 2
     if args.models:
@@ -107,8 +108,8 @@ def _prepare_run(args: argparse.Namespace):
 
         models = load_error_models(args.models)
     else:
-        models = train_error_models(seed=args.seed)
-    setup = PlaceSetup.create(builders[args.place](), seed=args.seed + 3)
+        models = cache.error_models(args.seed)
+    setup = cache.place_setup(args.place, args.seed + 3)
     if args.path not in setup.place.paths:
         print(
             f"unknown path {args.path!r}; this place has: "
@@ -141,8 +142,6 @@ def _open_trace(args: argparse.Namespace, out_path: str):
 
 def _discard_trace(tw, out_path: str) -> None:
     """Remove a trace stub left behind by a failed setup."""
-    import os
-
     tw.close()
     try:
         os.unlink(out_path)
@@ -150,8 +149,57 @@ def _discard_trace(tw, out_path: str) -> None:
         pass
 
 
+def _run_experiment(args: argparse.Namespace) -> int:
+    """Dispatch ``repro run <experiment>`` through the registry."""
+    from repro.eval.registry import get_experiment, render_result, run_experiment
+    from repro.fleet import set_default_cache
+
+    if args.cache_dir:
+        set_default_cache(_cache(args))
+    experiment = get_experiment(args.place)
+    result = run_experiment(
+        args.place,
+        seed=args.seed if args.seed != 0 else None,
+        n_walks=args.n_walks,
+        workers=args.workers,
+    )
+    print(f"{experiment.name}: {experiment.title}\n")
+    print(render_result(experiment, result))
+    return 0
+
+
+def _list_experiments() -> int:
+    from repro.eval.registry import EXPERIMENTS
+
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.name:8s} {experiment.title}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run UniLoc over one path and print the evaluation."""
+    """Run a registered experiment, or UniLoc over one place/path."""
+    from repro.eval.registry import EXPERIMENTS
+
+    if args.list:
+        return _list_experiments()
+    if args.place is None:
+        print("run needs an experiment name or PLACE PATH", file=sys.stderr)
+        return 2
+    if args.path is None:
+        if args.place in EXPERIMENTS:
+            if args.trace is not None:
+                print(
+                    "--trace only applies to `run PLACE PATH`", file=sys.stderr
+                )
+                return 2
+            return _run_experiment(args)
+        print(
+            f"{args.place!r} is neither a registered experiment "
+            f"(see `repro run --list`) nor was a PATH given",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.eval import SCHEME_NAMES, run_walk
     from repro.eval.plots import render_bars, render_cdf
 
@@ -191,6 +239,47 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(render_bars(result.usage("uniloc1")))
     print("\n" + render_cdf(errors_by_system))
     return 0
+
+
+def _cache_root(args: argparse.Namespace) -> str:
+    return args.dir or os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Manage the persistent artifact cache."""
+    from repro.fleet import ArtifactCache, config_hash, place_names
+
+    if args.cache_command == "key":
+        print(config_hash())
+        return 0
+
+    cache = ArtifactCache(_cache_root(args))
+    if args.cache_command == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        for entry in entries:
+            print(entry.describe())
+        total = sum(e.size_bytes for e in entries)
+        print(f"\n{len(entries)} entries, {total / 1024:.1f} KiB in {cache.root}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear(args.artifact)
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    if args.cache_command == "warm":
+        places = args.places or None
+        unknown = [p for p in (places or []) if p not in place_names()]
+        if unknown:
+            print(f"unknown places: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        warmed = cache.warm(places=places, seed=args.seed)
+        for key in warmed:
+            print(f"warm: {key}")
+        print(f"\n{len(warmed)} artifacts ready in {cache.root}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
@@ -293,16 +382,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="train the error models")
     p_train.add_argument("--out", help="save fitted models to this JSON file")
+    p_train.add_argument("--cache-dir", help="persistent artifact cache directory")
     p_train.set_defaults(func=cmd_train)
 
-    p_run = sub.add_parser("run", help="run UniLoc over a path")
-    p_run.add_argument("place")
-    p_run.add_argument("path")
+    p_run = sub.add_parser(
+        "run", help="run a registered experiment, or UniLoc over a path"
+    )
+    p_run.add_argument(
+        "place", nargs="?", help="experiment name (see --list) or place"
+    )
+    p_run.add_argument("path", nargs="?", help="path within the place")
+    p_run.add_argument(
+        "--list", action="store_true", help="list registered experiments"
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None, help="worker processes for multi-walk experiments"
+    )
+    p_run.add_argument(
+        "--n-walks", type=int, default=None, help="walks to pool (pooled experiments)"
+    )
+    p_run.add_argument("--cache-dir", help="persistent artifact cache directory")
     p_run.add_argument("--models", help="load fitted models instead of training")
     p_run.add_argument(
         "--trace", help="also export the JSONL step-telemetry stream here"
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_cache = sub.add_parser("cache", help="manage the persistent artifact cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_ls = cache_sub.add_parser("ls", help="list cache entries")
+    p_ls.add_argument("--dir", help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_clear = cache_sub.add_parser("clear", help="delete cache entries")
+    p_clear.add_argument("--dir", help="cache directory")
+    p_clear.add_argument(
+        "--artifact", choices=["error_models", "place_setup"],
+        help="only clear one artifact kind",
+    )
+    p_warm = cache_sub.add_parser(
+        "warm", help="pre-build every artifact the experiments need"
+    )
+    p_warm.add_argument("--dir", help="cache directory")
+    p_warm.add_argument(
+        "--places", nargs="*", help="only warm these places (default: all)"
+    )
+    cache_sub.add_parser(
+        "key", help="print the config hash cache entries are keyed on"
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_trace = sub.add_parser(
         "trace", help="walk a path and export JSONL step telemetry"
@@ -311,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("path")
     p_trace.add_argument("--out", required=True, help="JSONL trace destination")
     p_trace.add_argument("--models", help="load fitted models instead of training")
+    p_trace.add_argument("--cache-dir", help="persistent artifact cache directory")
     p_trace.set_defaults(func=cmd_trace)
 
     p_report = sub.add_parser(

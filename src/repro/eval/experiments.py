@@ -1,8 +1,11 @@
-"""One function per paper table / figure (the per-experiment index).
+"""One implementation per paper table / figure (the per-experiment index).
 
 Every benchmark in ``benchmarks/`` and several examples drive these
-functions; they share cached error models and place setups so a full
-bench run trains once and reuses everything.
+functions.  The expensive offline artifacts (surveys, trained error
+models) come from the :mod:`repro.fleet` artifact cache, and every
+multi-walk figure executes through :func:`repro.fleet.run_walks`, so a
+full suite trains once, surveys each place once, and can fan walks out
+over worker processes.
 
 ===========  =====================================================
 fig2         :func:`fig2_motivation` — scheme errors along Path 1
@@ -16,14 +19,18 @@ fig8d        :func:`fig8d_heterogeneity`
 table4       :func:`table4_energy`
 table5       :func:`table5_response_time`
 ===========  =====================================================
+
+The public ``fig*`` / ``table*`` free functions are deprecated thin
+wrappers kept for source compatibility; new code should dispatch
+through :mod:`repro.eval.registry` (``run_experiment("fig7",
+workers=4)``) or the CLI (``repro run fig7 --workers 4``).
 """
 
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core import ErrorModelSet, RegressionSummary
 from repro.energy import (
@@ -38,95 +45,68 @@ from repro.eval.setup import (
     SCHEME_NAMES,
     PlaceSetup,
     build_framework,
-    train_error_models,
 )
+from repro.fleet import WalkJob, default_cache, run_walks
 from repro.sensors import LG_G3, NEXUS_5X, DeviceProfile, OffsetCalibrator
 from repro.sensors.snapshot import SensorSnapshot
-from repro.world import (
-    EnvironmentType,
-    build_campus_place,
-    build_daily_path_place,
-    build_mall_place,
-    build_office_place,
-    build_open_space_place,
-    build_second_office_place,
-    build_urban_open_space_place,
-)
+from repro.world import EnvironmentType
 
 #: Master seed for the shared experiment fixtures.
 DEFAULT_SEED = 0
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"the free function is deprecated; dispatch experiment {name!r} via "
+        f"repro.eval.registry.run_experiment({name!r}) or `repro run {name}`",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 @functools.lru_cache(maxsize=4)
 def shared_models(seed: int = DEFAULT_SEED) -> dict[str, ErrorModelSet]:
-    """Return the error models trained once per the paper's protocol."""
-    return train_error_models(seed=seed)
+    """Return the error models trained once per the paper's protocol.
+
+    Backed by the fleet artifact cache: with ``REPRO_CACHE_DIR`` set the
+    training happens at most once per machine, not once per process.
+    """
+    return default_cache().error_models(seed)
 
 
 @functools.lru_cache(maxsize=16)
 def place_setup(place_name: str, seed: int = DEFAULT_SEED) -> PlaceSetup:
-    """Return a cached deployed+surveyed setup for a named built-in place."""
-    builders = {
-        "daily": build_daily_path_place,
-        "campus": build_campus_place,
-        "office": build_office_place,
-        "office-2": build_second_office_place,
-        "open-space": build_open_space_place,
-        "urban-open-space": build_urban_open_space_place,
-        "mall": build_mall_place,
-    }
-    if place_name not in builders:
-        raise ValueError(f"unknown place {place_name!r}")
-    return PlaceSetup.create(builders[place_name](), seed=seed + 3)
+    """Return a cached deployed+surveyed setup for a named built-in place.
+
+    Raises:
+        ValueError: on an unknown place name.
+    """
+    return default_cache().place_setup(place_name, seed + 3)
 
 
-def _run(
-    setup: PlaceSetup,
-    models: dict[str, ErrorModelSet],
+def _job(
+    place_name: str,
     path_name: str,
+    seed: int,
     walk_seed: int,
     trace_seed: int,
-    device: DeviceProfile = NEXUS_5X,
-    start_arc: float = 0.0,
-    max_length: float | None = None,
-    grid_cell_m: float = 2.0,
-    snapshots_override: list[SensorSnapshot] | None = None,
-    start_noise_m: float = 0.0,
-) -> WalkResult:
-    """Record one walk and drive it through a fresh UniLoc framework.
-
-    ``start_noise_m`` perturbs the start position given to the PDR /
-    fusion schemes: a walk beginning mid-place has no surveyed anchor, so
-    dead reckoning starts from an approximate (e.g. Zee-style Wi-Fi
-    bootstrap) position rather than the exact truth.
-    """
-    walk, snaps = setup.record_walk(
-        path_name,
-        device=device,
+    **overrides,
+) -> WalkJob:
+    """Build a walk job using the experiment suite's seed conventions."""
+    return WalkJob(
+        place_name=place_name,
+        path_name=path_name,
+        setup_seed=seed + 3,
+        models_seed=seed,
         walk_seed=walk_seed,
         trace_seed=trace_seed,
-        start_arc=start_arc,
-        max_length=max_length,
+        **overrides,
     )
-    if snapshots_override is not None:
-        snaps = snapshots_override
-    start = walk.moments[0].position
-    if start_noise_m > 0.0:
-        rng = np.random.default_rng(walk_seed + 777)
-        from repro.geometry import Point
 
-        start = Point(
-            start.x + float(rng.normal(0.0, start_noise_m)),
-            start.y + float(rng.normal(0.0, start_noise_m)),
-        )
-    framework = build_framework(
-        setup,
-        models,
-        start,
-        scheme_seed=walk_seed + 11,
-        grid_cell_m=grid_cell_m,
-    )
-    return run_walk(framework, setup.place, path_name, walk, snaps)
+
+def _run_jobs(jobs: list[WalkJob], workers: int = 1) -> list[WalkResult]:
+    """Execute jobs through the fleet engine against the default cache."""
+    return run_walks(jobs, workers=workers, cache=default_cache())
 
 
 # ---------------------------------------------------------------------------
@@ -143,13 +123,7 @@ class Fig2Row:
     errors: dict[str, float]
 
 
-def fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
-    """Run the five schemes independently along Path 1 (paper Fig. 2).
-
-    Like the paper's motivation experiment this bypasses UniLoc entirely:
-    each scheme reports independently at every location (GPS with no duty
-    cycling).
-    """
+def _impl_fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
     setup = place_setup("daily", seed)
     walk, snaps = setup.record_walk("path1", walk_seed=seed, trace_seed=seed + 1)
     schemes = setup.make_schemes(walk.moments[0].position, scheme_seed=seed + 2)
@@ -170,13 +144,27 @@ def fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
     return rows
 
 
+def fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
+    """Run the five schemes independently along Path 1 (paper Fig. 2).
+
+    Like the paper's motivation experiment this bypasses UniLoc entirely:
+    each scheme reports independently at every location (GPS with no duty
+    cycling).
+
+    .. deprecated:: use ``run_experiment("fig2")`` instead.
+    """
+    _deprecated("fig2")
+    return _impl_fig2_motivation(seed)
+
+
 # ---------------------------------------------------------------------------
 # Table I — influence factors per scheme.
 # ---------------------------------------------------------------------------
 
 
-def table1_influence_factors(seed: int = DEFAULT_SEED) -> dict[str, dict[str, tuple[str, ...]]]:
-    """Return each scheme's modeled influence factors per context."""
+def _impl_table1_influence_factors(
+    seed: int = DEFAULT_SEED,
+) -> dict[str, dict[str, tuple[str, ...]]]:
     setup = place_setup("daily", seed)
     extractors = setup.make_extractors()
     return {
@@ -188,15 +176,25 @@ def table1_influence_factors(seed: int = DEFAULT_SEED) -> dict[str, dict[str, tu
     }
 
 
+def table1_influence_factors(
+    seed: int = DEFAULT_SEED,
+) -> dict[str, dict[str, tuple[str, ...]]]:
+    """Return each scheme's modeled influence factors per context.
+
+    .. deprecated:: use ``run_experiment("table1")`` instead.
+    """
+    _deprecated("table1")
+    return _impl_table1_influence_factors(seed)
+
+
 # ---------------------------------------------------------------------------
 # Table II — error-model coefficients and diagnostics.
 # ---------------------------------------------------------------------------
 
 
-def table2_error_models(
+def _impl_table2_error_models(
     seed: int = DEFAULT_SEED,
 ) -> dict[str, dict[str, RegressionSummary]]:
-    """Return the Table II regression summaries (per scheme, per context)."""
     models = shared_models(seed)
     table: dict[str, dict[str, RegressionSummary]] = {}
     for name, model_set in models.items():
@@ -205,6 +203,17 @@ def table2_error_models(
             if model.is_fitted:
                 table[name][label] = model.summary
     return table
+
+
+def table2_error_models(
+    seed: int = DEFAULT_SEED,
+) -> dict[str, dict[str, RegressionSummary]]:
+    """Return the Table II regression summaries (per scheme, per context).
+
+    .. deprecated:: use ``run_experiment("table2")`` instead.
+    """
+    _deprecated("table2")
+    return _impl_table2_error_models(seed)
 
 
 # ---------------------------------------------------------------------------
@@ -232,37 +241,54 @@ def _prediction_rmse(results: list[WalkResult]) -> dict[str, float]:
     return rmse
 
 
-def table3_prediction_rmse(seed: int = DEFAULT_SEED) -> dict[str, dict[str, float]]:
-    """Return normalized prediction RMSE for the four Table III conditions.
+#: The four Table III conditions: {same, new} place x {same, diff} device.
+_TABLE3_CONDITIONS: dict[str, tuple[list[str], DeviceProfile]] = {
+    "same_place_same_device": (["office", "open-space"], NEXUS_5X),
+    "same_place_diff_device": (["office", "open-space"], LG_G3),
+    "new_place_same_device": (["office-2", "urban-open-space"], NEXUS_5X),
+    "new_place_diff_device": (["office-2", "urban-open-space"], LG_G3),
+}
 
-    Conditions: {same, new} place x {same, different} device.  "Same"
-    places are the training office and open space (fresh walks); "new"
-    places are the second office and the urban open space.
-    """
-    models = shared_models(seed)
-    conditions = {
-        "same_place_same_device": (["office", "open-space"], NEXUS_5X),
-        "same_place_diff_device": (["office", "open-space"], LG_G3),
-        "new_place_same_device": (["office-2", "urban-open-space"], NEXUS_5X),
-        "new_place_diff_device": (["office-2", "urban-open-space"], LG_G3),
-    }
-    table = {}
-    for label, (places, device) in conditions.items():
-        results = []
+
+def _impl_table3_prediction_rmse(
+    seed: int = DEFAULT_SEED, workers: int = 1
+) -> dict[str, dict[str, float]]:
+    jobs = []
+    slots: list[str] = []
+    for label, (places, device) in _TABLE3_CONDITIONS.items():
         for idx, place_name in enumerate(places):
-            setup = place_setup(place_name, seed)
-            results.append(
-                _run(
-                    setup,
-                    models,
+            jobs.append(
+                _job(
+                    place_name,
                     "survey",
+                    seed,
                     walk_seed=seed + 900 + idx,
                     trace_seed=seed + 950 + idx,
                     device=device,
                 )
             )
-        table[label] = _prediction_rmse(results)
+            slots.append(label)
+    results = _run_jobs(jobs, workers=workers)
+    table: dict[str, dict[str, float]] = {}
+    for label in _TABLE3_CONDITIONS:
+        grouped = [r for slot, r in zip(slots, results) if slot == label]
+        table[label] = _prediction_rmse(grouped)
     return table
+
+
+def table3_prediction_rmse(
+    seed: int = DEFAULT_SEED, workers: int = 1
+) -> dict[str, dict[str, float]]:
+    """Return normalized prediction RMSE for the four Table III conditions.
+
+    Conditions: {same, new} place x {same, different} device.  "Same"
+    places are the training office and open space (fresh walks); "new"
+    places are the second office and the urban open space.
+
+    .. deprecated:: use ``run_experiment("table3")`` instead.
+    """
+    _deprecated("table3")
+    return _impl_table3_prediction_rmse(seed, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -273,31 +299,31 @@ def table3_prediction_rmse(seed: int = DEFAULT_SEED) -> dict[str, dict[str, floa
 @functools.lru_cache(maxsize=4)
 def daily_path_result(seed: int = DEFAULT_SEED) -> WalkResult:
     """Run UniLoc over Path 1 once (serves Fig. 3 and Table IV)."""
-    setup = place_setup("daily", seed)
-    return _run(setup, shared_models(seed), "path1", walk_seed=seed, trace_seed=seed + 1)
+    jobs = [_job("daily", "path1", seed, walk_seed=seed, trace_seed=seed + 1)]
+    return _run_jobs(jobs)[0]
 
 
 @functools.lru_cache(maxsize=4)
-def daily_path_pooled(seed: int = DEFAULT_SEED, n_walks: int = 3) -> WalkResult:
+def daily_path_pooled(
+    seed: int = DEFAULT_SEED, n_walks: int = 3, workers: int = 1
+) -> WalkResult:
     """Pool several Path 1 walks (serves Figs. 5 and 6).
 
     The paper's Fig. 6 averages repeated walks of the same path; pooling
     several sessions (different subjects' step-model biases) removes the
     single-session luck in the per-scheme means.
     """
-    setup = place_setup("daily", seed)
-    models = shared_models(seed)
-    results = [daily_path_result(seed)]
-    for idx in range(1, n_walks):
-        results.append(
-            _run(
-                setup,
-                models,
-                "path1",
-                walk_seed=seed + idx,
-                trace_seed=seed + 1 + 7 * idx,
-            )
+    jobs = [
+        _job(
+            "daily",
+            "path1",
+            seed,
+            walk_seed=seed + idx,
+            trace_seed=seed + 1 + 7 * idx,
         )
+        for idx in range(1, n_walks)
+    ]
+    results = [daily_path_result(seed)] + _run_jobs(jobs, workers=workers)
     return merge_results(results)
 
 
@@ -307,23 +333,31 @@ def daily_path_pooled(seed: int = DEFAULT_SEED, n_walks: int = 3) -> WalkResult:
 
 
 @functools.lru_cache(maxsize=2)
-def fig7_eight_paths(seed: int = DEFAULT_SEED) -> WalkResult:
-    """Run UniLoc over all eight campus paths and pool the records."""
+def _impl_fig7_eight_paths(
+    seed: int = DEFAULT_SEED, workers: int = 1
+) -> WalkResult:
     setup = place_setup("campus", seed)
-    models = shared_models(seed)
-    results = []
-    for idx, path_name in enumerate(sorted(setup.place.paths)):
-        results.append(
-            _run(
-                setup,
-                models,
-                path_name,
-                walk_seed=seed + idx,
-                trace_seed=seed + 40 + idx,
-                grid_cell_m=4.0,
-            )
+    jobs = [
+        _job(
+            "campus",
+            path_name,
+            seed,
+            walk_seed=seed + idx,
+            trace_seed=seed + 40 + idx,
+            grid_cell_m=4.0,
         )
-    return merge_results(results)
+        for idx, path_name in enumerate(sorted(setup.place.paths))
+    ]
+    return merge_results(_run_jobs(jobs, workers=workers))
+
+
+def fig7_eight_paths(seed: int = DEFAULT_SEED, workers: int = 1) -> WalkResult:
+    """Run UniLoc over all eight campus paths and pool the records.
+
+    .. deprecated:: use ``run_experiment("fig7")`` instead.
+    """
+    _deprecated("fig7")
+    return _impl_fig7_eight_paths(seed, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -332,33 +366,42 @@ def fig7_eight_paths(seed: int = DEFAULT_SEED) -> WalkResult:
 
 
 @functools.lru_cache(maxsize=8)
-def fig8_environment(place_name: str, seed: int = DEFAULT_SEED) -> WalkResult:
+def _impl_fig8_environment(
+    place_name: str, seed: int = DEFAULT_SEED, workers: int = 1
+) -> WalkResult:
+    setup = place_setup(place_name, seed)
+    path = setup.place.paths["survey"]
+    window = min(100.0, path.length() * 0.6)
+    usable = max(path.length() - window - 1.0, 1.0)
+    jobs = [
+        _job(
+            place_name,
+            "survey",
+            seed,
+            walk_seed=seed + 60 + idx,
+            trace_seed=seed + 80 + idx,
+            start_arc=usable * idx / 10.0,
+            max_length=window,
+            start_noise_m=3.0,
+        )
+        for idx in range(10)
+    ]
+    return merge_results(_run_jobs(jobs, workers=workers))
+
+
+def fig8_environment(
+    place_name: str, seed: int = DEFAULT_SEED, workers: int = 1
+) -> WalkResult:
     """Run the paper's per-place protocol: 10 trajectories of ~30 m.
 
     Valid ``place_name`` values: ``"mall"``, ``"urban-open-space"``,
     ``"office"`` (the office is a *trained* place, the other two are new).
+
+    .. deprecated:: use ``run_experiment("fig8a")`` (mall), ``"fig8b"``
+       (urban open space), or ``"fig8c"`` (office) instead.
     """
-    setup = place_setup(place_name, seed)
-    models = shared_models(seed)
-    path = setup.place.paths["survey"]
-    window = min(100.0, path.length() * 0.6)
-    usable = max(path.length() - window - 1.0, 1.0)
-    results = []
-    for idx in range(10):
-        start_arc = usable * idx / 10.0
-        results.append(
-            _run(
-                setup,
-                models,
-                "survey",
-                walk_seed=seed + 60 + idx,
-                trace_seed=seed + 80 + idx,
-                start_arc=start_arc,
-                max_length=window,
-                start_noise_m=3.0,
-            )
-        )
-    return merge_results(results)
+    _deprecated("fig8a/fig8b/fig8c")
+    return _impl_fig8_environment(place_name, seed, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -405,13 +448,7 @@ def _train_calibrator(setup: PlaceSetup, seed: int) -> OffsetCalibrator:
 
 
 @functools.lru_cache(maxsize=2)
-def fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
-    """Run the office walk on an LG G3 with and without calibration.
-
-    The fingerprint database and the error models both come from the
-    reference device; the test device's offset RSSIs degrade matching
-    until the online-learned affine correction restores it.
-    """
+def _impl_fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
     setup = place_setup("office", seed)
     models = shared_models(seed)
     walk, snaps = setup.record_walk(
@@ -431,16 +468,45 @@ def fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
     return results
 
 
+def fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
+    """Run the office walk on an LG G3 with and without calibration.
+
+    The fingerprint database and the error models both come from the
+    reference device; the test device's offset RSSIs degrade matching
+    until the online-learned affine correction restores it.
+
+    .. deprecated:: use ``run_experiment("fig8d")`` instead.
+    """
+    _deprecated("fig8d")
+    return _impl_fig8d_heterogeneity(seed)
+
+
 # ---------------------------------------------------------------------------
 # Table IV — energy; Table V — response time.
 # ---------------------------------------------------------------------------
 
 
-def table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
-    """Return the Table IV energy accounting over the daily path."""
+def _impl_table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
     return energy_table(daily_path_result(seed))
 
 
-def table5_response_time() -> ResponseTimeBreakdown:
-    """Return the modeled Table V response-time decomposition."""
+def table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
+    """Return the Table IV energy accounting over the daily path.
+
+    .. deprecated:: use ``run_experiment("table4")`` instead.
+    """
+    _deprecated("table4")
+    return _impl_table4_energy(seed)
+
+
+def _impl_table5_response_time() -> ResponseTimeBreakdown:
     return response_time()
+
+
+def table5_response_time() -> ResponseTimeBreakdown:
+    """Return the modeled Table V response-time decomposition.
+
+    .. deprecated:: use ``run_experiment("table5")`` instead.
+    """
+    _deprecated("table5")
+    return _impl_table5_response_time()

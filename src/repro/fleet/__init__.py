@@ -1,0 +1,38 @@
+"""The fleet layer: parallel walk execution over a persistent artifact cache.
+
+``repro.fleet`` turns the one-walk-at-a-time evaluation pipeline into a
+batched engine: describe walks as :class:`WalkJob` values, hand them to
+:func:`run_walks` with ``workers=N``, and the expensive offline
+artifacts (surveys, trained error models) come from the
+content-addressed :class:`ArtifactCache` instead of being rebuilt per
+figure.  See README "Parallel execution & caching".
+"""
+
+from repro.fleet.cache import (
+    CACHE_VERSION,
+    ArtifactCache,
+    CacheEntry,
+    config_fingerprint,
+    config_hash,
+    default_cache,
+    place_builders,
+    place_names,
+    set_default_cache,
+)
+from repro.fleet.executor import WalkJob, execute_job, iter_walks, run_walks
+
+__all__ = [
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "CacheEntry",
+    "WalkJob",
+    "config_fingerprint",
+    "config_hash",
+    "default_cache",
+    "execute_job",
+    "iter_walks",
+    "place_builders",
+    "place_names",
+    "run_walks",
+    "set_default_cache",
+]

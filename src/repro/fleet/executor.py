@@ -1,0 +1,254 @@
+"""Batched multi-process walk execution: the fleet engine.
+
+UniLoc's evaluation is embarrassingly parallel — every walk job (one
+path, one seed tuple, one device) is a pure function of its fields, so
+eight campus paths or ten mall trajectories can run on as many cores as
+the machine has without changing a single number.  This module provides
+that engine:
+
+* :class:`WalkJob` — a pickle-safe description of one walk;
+* :func:`iter_walks` — fan jobs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and stream scored
+  :class:`~repro.eval.runner.WalkResult`\\ s back as they finish;
+* :func:`run_walks` — the same, collected in job order.
+
+Determinism is a hard guarantee: every job carries its own explicit
+seeds (no shared random stream crosses a process boundary), so
+``workers=1`` and ``workers=8`` produce byte-identical per-step errors,
+and results are independent of completion order.  Worker processes pull
+the offline artifacts (place setups, error models) from the
+:class:`~repro.fleet.cache.ArtifactCache` — with a persistent cache
+directory a worker never trains or surveys anything.
+
+Per-worker :mod:`repro.obs` metrics are snapshotted in the worker,
+shipped back with each result, and folded into the single registry the
+caller passed, so observability survives the process fan-out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.fleet.cache import ArtifactCache, default_cache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER
+from repro.sensors import NEXUS_5X, DeviceProfile
+
+
+@dataclass(frozen=True)
+class WalkJob:
+    """Everything needed to run one walk, anywhere.
+
+    A job is a pure value: two jobs with equal fields produce equal
+    :class:`~repro.eval.runner.WalkResult`\\ s in any process, in any
+    order.  Seed conventions match the historical serial runner exactly
+    (scheme seed = ``walk_seed + 11``, start-noise stream =
+    ``walk_seed + 777``) so engine results are bit-compatible with the
+    pre-engine figures.
+
+    Attributes:
+        place_name: built-in world to run in (see ``repro places``).
+        path_name: path within the place.
+        setup_seed: deployment/survey seed of the place setup.
+        models_seed: training seed of the shared error models.
+        walk_seed: ground-truth walk randomness.
+        trace_seed: sensor-measurement randomness.
+        device: phone profile recording the walk.
+        start_arc: arc length where the walk starts.
+        max_length: stop after this many meters (None = full path).
+        grid_cell_m: BMA grid resolution for the framework.
+        start_noise_m: std-dev of the perturbation applied to the start
+            position handed to the dead-reckoning schemes.
+        compact: drop particle clouds / candidate lists from the returned
+            step decisions (the figures only need errors and telemetry;
+            the clouds are reproducible from the seeds and would multiply
+            cross-process transfer by ~10x).
+    """
+
+    place_name: str
+    path_name: str
+    setup_seed: int = 3
+    models_seed: int = 0
+    walk_seed: int = 0
+    trace_seed: int = 1
+    device: DeviceProfile = NEXUS_5X
+    start_arc: float = 0.0
+    max_length: float | None = None
+    grid_cell_m: float = 2.0
+    start_noise_m: float = 0.0
+    compact: bool = True
+
+
+#: Set in the parent just before forking so fork-started workers inherit
+#: the warm in-memory cache; spawn-started workers get a fresh cache
+#: pointed at the same persistent root via the pool initializer.
+_WORKER_CACHE: ArtifactCache | None = None
+
+
+def _init_worker(cache_root: str | None) -> None:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:  # spawn: fresh interpreter, rebuild from disk
+        _WORKER_CACHE = ArtifactCache(cache_root)
+
+
+def _compact_result(result: Any) -> Any:
+    """Strip bulky per-step posterior shapes, keeping all telemetry."""
+    for record in result.records:
+        decision = record.decision
+        decision.outputs = {
+            name: (
+                None
+                if output is None
+                else replace(
+                    output, samples=None, sample_weights=None, candidates=None
+                )
+            )
+            for name, output in decision.outputs.items()
+        }
+    return result
+
+
+def execute_job(job: WalkJob, cache: ArtifactCache) -> Any:
+    """Run one walk job to a scored ``WalkResult`` (in this process)."""
+    from repro.eval.runner import run_walk
+    from repro.eval.setup import build_framework
+    from repro.geometry import Point
+
+    setup = cache.place_setup(job.place_name, job.setup_seed)
+    models = cache.error_models(job.models_seed)
+    walk, snaps = setup.record_walk(
+        job.path_name,
+        device=job.device,
+        walk_seed=job.walk_seed,
+        trace_seed=job.trace_seed,
+        start_arc=job.start_arc,
+        max_length=job.max_length,
+    )
+    start = walk.moments[0].position
+    if job.start_noise_m > 0.0:
+        rng = np.random.default_rng(job.walk_seed + 777)
+        start = Point(
+            start.x + float(rng.normal(0.0, job.start_noise_m)),
+            start.y + float(rng.normal(0.0, job.start_noise_m)),
+        )
+    framework = build_framework(
+        setup,
+        models,
+        start,
+        scheme_seed=job.walk_seed + 11,
+        grid_cell_m=job.grid_cell_m,
+    )
+    result = run_walk(framework, setup.place, job.path_name, walk, snaps)
+    return _compact_result(result) if job.compact else result
+
+
+def _execute_in_worker(job: WalkJob) -> tuple[Any, dict[str, Any]]:
+    """Pool entry point: run a job and snapshot this worker's metrics."""
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
+    metrics = MetricsRegistry()
+    previous = cache.metrics
+    cache.metrics = metrics
+    try:
+        result = execute_job(job, cache)
+    finally:
+        cache.metrics = previous
+    metrics.counter("fleet.walks").inc()
+    metrics.counter("fleet.steps").inc(len(result.records))
+    metrics.gauge("fleet.worker_pid").set(os.getpid())
+    return result, metrics.snapshot()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (workers inherit warm in-memory artifacts) over spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def iter_walks(
+    jobs: list[WalkJob],
+    workers: int = 1,
+    cache: ArtifactCache | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: object = NOOP_TRACER,
+) -> Iterator[tuple[int, Any]]:
+    """Execute jobs and yield ``(job_index, WalkResult)`` as walks finish.
+
+    With ``workers <= 1`` (or a single job) everything runs inline in
+    this process — no pool, no pickling — which is also the reference
+    stream the determinism suite compares parallel runs against.
+
+    Args:
+        jobs: walk jobs; the yielded index refers into this list.
+        workers: worker processes (capped at ``len(jobs)``).
+        cache: artifact cache; defaults to the process-wide cache.
+        metrics: registry that absorbs every worker's metric snapshot.
+        tracer: span recorder for the dispatch path.
+    """
+    cache = cache if cache is not None else default_cache()
+    if workers <= 1 or len(jobs) <= 1:
+        for index, job in enumerate(jobs):
+            with tracer.span("fleet.walk", index=index, path=job.path_name):
+                previous = cache.metrics
+                if metrics is not None:
+                    cache.metrics = metrics
+                try:
+                    result = execute_job(job, cache)
+                finally:
+                    cache.metrics = previous
+            if metrics is not None:
+                metrics.counter("fleet.walks").inc()
+                metrics.counter("fleet.steps").inc(len(result.records))
+            yield index, result
+        return
+
+    global _WORKER_CACHE
+    _WORKER_CACHE = cache  # inherited by fork workers
+    cache_root = str(cache.root) if cache.root is not None else None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(cache_root,),
+        ) as pool:
+            with tracer.span("fleet.dispatch", jobs=len(jobs), workers=workers):
+                pending = {
+                    pool.submit(_execute_in_worker, job): index
+                    for index, job in enumerate(jobs)
+                }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    result, snapshot = future.result()
+                    if metrics is not None:
+                        metrics.merge_snapshot(snapshot)
+                    yield index, result
+    finally:
+        _WORKER_CACHE = None
+
+
+def run_walks(
+    jobs: list[WalkJob],
+    workers: int = 1,
+    cache: ArtifactCache | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: object = NOOP_TRACER,
+) -> list[Any]:
+    """Execute jobs (optionally in parallel) and return results in job order.
+
+    The aggregate is guaranteed identical for any ``workers`` value; see
+    the module docstring for the determinism contract.
+    """
+    results: list[Any] = [None] * len(jobs)
+    for index, result in iter_walks(
+        jobs, workers=workers, cache=cache, metrics=metrics, tracer=tracer
+    ):
+        results[index] = result
+    return results

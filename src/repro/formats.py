@@ -1,0 +1,70 @@
+"""One versioned on-disk header for every repro artifact format.
+
+Three kinds of artifacts outlive a process — JSON persistence files
+(fingerprints, error models, sensor traces), JSONL step traces, and the
+fleet cache's entries.  They all carry the same self-describing header::
+
+    {"format": "<name>", "version": <int>, "created_by": "repro <ver>"}
+
+and they all fail the same way on a mismatch: :class:`UnsupportedFormatError`
+(a :class:`ValueError` subclass, so existing ``except ValueError`` call
+sites keep working).  Producers stamp headers with :func:`format_header`;
+consumers validate with :func:`check_header`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class UnsupportedFormatError(ValueError):
+    """An artifact's format tag or version cannot be read by this build.
+
+    Subclasses :class:`ValueError` so callers that predate the shared
+    header helper (``except ValueError``) still catch it.
+    """
+
+
+def _created_by() -> str:
+    from repro import __version__
+
+    return f"repro {__version__}"
+
+
+def format_header(fmt: str, version: int) -> dict[str, Any]:
+    """Return the standard header fields for a new artifact."""
+    return {"format": fmt, "version": version, "created_by": _created_by()}
+
+
+def check_header(
+    payload: dict[str, Any],
+    expected_format: str,
+    max_version: int,
+    source: object = "artifact",
+) -> dict[str, Any]:
+    """Validate an artifact header and return the payload unchanged.
+
+    Args:
+        payload: the parsed artifact (or its meta/header object).
+        expected_format: the ``format`` tag this reader understands.
+        max_version: the newest ``version`` this reader understands.
+        source: where the payload came from (a path, usually) — only used
+            in error messages.
+
+    Raises:
+        UnsupportedFormatError: on a missing/wrong format tag or a
+            version newer than ``max_version``.
+    """
+    found = payload.get("format") if isinstance(payload, dict) else None
+    if found != expected_format:
+        raise UnsupportedFormatError(
+            f"{source} holds {found!r}, expected {expected_format!r}"
+        )
+    version = payload.get("version", 0)
+    if not isinstance(version, int) or version > max_version:
+        raise UnsupportedFormatError(
+            f"{source} is {expected_format!r} version {version!r}, but this "
+            f"build of repro reads up to version {max_version} "
+            f"(written by {payload.get('created_by', 'unknown')})"
+        )
+    return payload

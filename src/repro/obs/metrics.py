@@ -249,6 +249,47 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Export every instrument in a lossless, mergeable, pickle-safe form.
+
+        Unlike :meth:`as_dict` (which summarizes histograms down to
+        percentiles), a snapshot keeps raw histogram observations so two
+        registries can be combined exactly — the fleet executor ships one
+        snapshot per worker process back to the parent and folds them into
+        a single registry with :meth:`merge_snapshot`.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name, instrument in self:
+            if isinstance(instrument, Histogram):
+                out[name] = {"kind": "histogram", "values": instrument.values()}
+            elif isinstance(instrument, Counter):
+                out[name] = {"kind": "counter", "value": instrument.value}
+            else:
+                out[name] = {"kind": "gauge", "value": instrument.value}
+        return out
+
+    def merge_snapshot(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histogram observations concatenate, gauges take the
+        incoming value (last write wins, as always).
+
+        Raises:
+            TypeError: if a name is already registered as a different kind.
+        """
+        for name, spec in snapshot.items():
+            kind = spec["kind"]
+            if kind == "counter":
+                self.counter(name).inc(spec["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                for value in spec["values"]:
+                    histogram.observe(value)
+            elif kind == "gauge":
+                self.gauge(name).set(spec["value"])
+            else:
+                raise TypeError(f"unknown instrument kind {kind!r} for {name!r}")
+
     def as_dict(self) -> dict[str, Any]:
         """Flatten every instrument into JSON-ready values."""
         out: dict[str, Any] = {}

@@ -27,6 +27,8 @@ import math
 from pathlib import Path
 from typing import IO, Any, Iterator
 
+from repro.formats import UnsupportedFormatError, check_header, format_header
+
 TRACE_FORMAT = "uniloc_trace"
 TRACE_VERSION = 1
 
@@ -149,8 +151,7 @@ class TraceWriter:
         self.write_event(
             {
                 "type": "meta",
-                "format": TRACE_FORMAT,
-                "version": TRACE_VERSION,
+                **format_header(TRACE_FORMAT, TRACE_VERSION),
                 "place": place,
                 "path": path_name,
             }
@@ -228,11 +229,10 @@ def iter_trace(path: str | Path) -> Iterator[dict[str, Any]]:
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}:1: not JSON ({exc.msg})") from exc
         if not isinstance(meta, dict) or meta.get("type") != "meta":
-            raise ValueError(f"{path} does not start with a {TRACE_FORMAT} meta line")
-        if meta.get("format") != TRACE_FORMAT:
-            raise ValueError(f"{path} does not start with a {TRACE_FORMAT} meta line")
-        if meta.get("version", 0) > TRACE_VERSION:
-            raise ValueError(f"{path} was written by a newer version of repro")
+            raise UnsupportedFormatError(
+                f"{path} does not start with a {TRACE_FORMAT} meta line"
+            )
+        check_header(meta, TRACE_FORMAT, TRACE_VERSION, source=path)
         yield meta
         for lineno, line in enumerate(fh, start=2):
             if not line.strip():

@@ -11,16 +11,20 @@ stable on-disk JSON form:
 * :func:`save_trace` / :func:`load_trace` — full sensor traces, so an
   experiment recorded once can be replayed against new algorithms.
 
-All formats carry a ``format`` tag and a version for forward safety.
+All formats carry the shared :mod:`repro.formats` header (``format``,
+``version``, ``created_by``) and reject mismatches with one
+:class:`~repro.formats.UnsupportedFormatError`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from repro.core.error_model import ErrorModelSet, LinearErrorModel
+from repro.formats import check_header, format_header
 from repro.geometry import Point
 from repro.radio import Fingerprint, FingerprintDatabase
 from repro.sensors.gps import GpsStatus
@@ -33,18 +37,20 @@ FORMAT_VERSION = 1
 
 
 def _write(path: str | Path, payload: dict[str, Any]) -> None:
-    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    """Write an artifact atomically (temp file + rename).
+
+    The rename keeps concurrent readers — parallel fleet workers sharing
+    one artifact cache — from ever seeing a half-written JSON file.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    os.replace(tmp, path)
 
 
 def _read(path: str | Path, expected_format: str) -> dict[str, Any]:
     payload = json.loads(Path(path).read_text())
-    if payload.get("format") != expected_format:
-        raise ValueError(
-            f"{path} holds {payload.get('format')!r}, expected {expected_format!r}"
-        )
-    if payload.get("version", 0) > FORMAT_VERSION:
-        raise ValueError(f"{path} was written by a newer version of repro")
-    return payload
+    return check_header(payload, expected_format, FORMAT_VERSION, source=path)
 
 
 # ---------------------------------------------------------------------------
@@ -52,17 +58,27 @@ def _read(path: str | Path, expected_format: str) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
+def fingerprints_to_entries(db: FingerprintDatabase) -> list[dict[str, Any]]:
+    """Return a fingerprint database as JSON-ready entry dicts."""
+    return [
+        {"x": e.position.x, "y": e.position.y, "rssi": e.rssi} for e in db.entries
+    ]
+
+
+def fingerprints_from_entries(entries: list[dict[str, Any]]) -> FingerprintDatabase:
+    """Rebuild a fingerprint database from :func:`fingerprints_to_entries`."""
+    return FingerprintDatabase(
+        [Fingerprint(Point(e["x"], e["y"]), dict(e["rssi"])) for e in entries]
+    )
+
+
 def save_fingerprints(db: FingerprintDatabase, path: str | Path) -> None:
     """Write a fingerprint survey to JSON."""
     _write(
         path,
         {
-            "format": "fingerprints",
-            "version": FORMAT_VERSION,
-            "entries": [
-                {"x": e.position.x, "y": e.position.y, "rssi": e.rssi}
-                for e in db.entries
-            ],
+            **format_header("fingerprints", FORMAT_VERSION),
+            "entries": fingerprints_to_entries(db),
         },
     )
 
@@ -71,15 +87,10 @@ def load_fingerprints(path: str | Path) -> FingerprintDatabase:
     """Read a fingerprint survey written by :func:`save_fingerprints`.
 
     Raises:
-        ValueError: on a wrong or newer format.
+        UnsupportedFormatError: on a wrong or newer format.
     """
     payload = _read(path, "fingerprints")
-    return FingerprintDatabase(
-        [
-            Fingerprint(Point(e["x"], e["y"]), dict(e["rssi"]))
-            for e in payload["entries"]
-        ]
-    )
+    return fingerprints_from_entries(payload["entries"])
 
 
 # ---------------------------------------------------------------------------
@@ -94,8 +105,7 @@ def save_error_models(
     _write(
         path,
         {
-            "format": "error_models",
-            "version": FORMAT_VERSION,
+            **format_header("error_models", FORMAT_VERSION),
             "schemes": {
                 name: {
                     "indoor": model_set.indoor.to_dict(),
@@ -111,7 +121,7 @@ def load_error_models(path: str | Path) -> dict[str, ErrorModelSet]:
     """Read error models written by :func:`save_error_models`.
 
     Raises:
-        ValueError: on a wrong or newer format.
+        UnsupportedFormatError: on a wrong or newer format.
     """
     payload = _read(path, "error_models")
     return {
@@ -210,8 +220,7 @@ def save_trace(snapshots: list[SensorSnapshot], path: str | Path) -> None:
     _write(
         path,
         {
-            "format": "sensor_trace",
-            "version": FORMAT_VERSION,
+            **format_header("sensor_trace", FORMAT_VERSION),
             "snapshots": [_snapshot_to_dict(s) for s in snapshots],
         },
     )
@@ -221,7 +230,7 @@ def load_trace(path: str | Path) -> list[SensorSnapshot]:
     """Read a sensor trace written by :func:`save_trace`.
 
     Raises:
-        ValueError: on a wrong or newer format.
+        UnsupportedFormatError: on a wrong or newer format.
     """
     payload = _read(path, "sensor_trace")
     return [_snapshot_from_dict(s) for s in payload["snapshots"]]

@@ -22,7 +22,7 @@ from repro.obs.metrics import Histogram
 from repro.sensors import SensorSnapshot
 
 
-@dataclass
+@dataclass(eq=False)
 class SchemeOutput:
     """One scheme's location estimate at one instant.
 
@@ -45,6 +45,28 @@ class SchemeOutput:
     sample_weights: np.ndarray | None = None
     candidates: list[tuple[Point, float]] | None = None
     quality: dict[str, float] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        # The generated dataclass __eq__ compares the array fields with
+        # `==`, whose elementwise result is ambiguous as a bool; compare
+        # them with array_equal so equality (and pickle round-trip
+        # checks) work on any SchemeOutput.
+        if not isinstance(other, SchemeOutput):
+            return NotImplemented
+
+        def arrays_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+            if a is None or b is None:
+                return a is b
+            return np.array_equal(a, b)
+
+        return (
+            self.position == other.position
+            and self.spread == other.spread
+            and arrays_equal(self.samples, other.samples)
+            and arrays_equal(self.sample_weights, other.sample_weights)
+            and self.candidates == other.candidates
+            and self.quality == other.quality
+        )
 
     def grid_posterior(self, grid: Grid) -> np.ndarray:
         """Rasterize this output into a normalized posterior over ``grid``.

@@ -1,0 +1,110 @@
+"""Tests for the experiment registry and its cache integration."""
+
+import pytest
+
+from repro.eval.registry import (
+    EXPERIMENTS,
+    KINDS,
+    ExperimentConfig,
+    experiment_names,
+    get_experiment,
+    render_result,
+    run_experiment,
+)
+from repro.fleet import ArtifactCache, set_default_cache
+from repro.obs import Tracer
+
+
+def test_every_paper_artifact_is_registered():
+    names = experiment_names()
+    for required in ("fig2", "table1", "table2", "table3", "fig3", "fig5",
+                     "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
+                     "table4", "table5"):
+        assert required in names
+
+
+def test_descriptors_are_well_formed():
+    for name, experiment in EXPERIMENTS.items():
+        assert experiment.name == name
+        assert experiment.kind in KINDS
+        assert experiment.title
+        assert callable(experiment.run)
+        assert isinstance(experiment.config, ExperimentConfig)
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        get_experiment("fig99")
+    with pytest.raises(ValueError, match="fig7"):
+        run_experiment("fig99")
+
+
+def test_table5_runs_and_renders():
+    experiment = get_experiment("table5")
+    result = run_experiment("table5")
+    text = render_result(experiment, result)
+    assert "ms" in text
+
+
+def test_run_experiment_overrides_config():
+    experiment = get_experiment("fig5")
+    assert experiment.config.n_walks == 3
+    # The override machinery must produce a new config, not mutate.
+    import dataclasses
+
+    config = dataclasses.replace(experiment.config, n_walks=2, workers=2)
+    assert config.n_walks == 2
+    assert experiment.config.n_walks == 3
+
+
+def test_deprecated_free_functions_warn():
+    from repro.eval import experiments
+
+    with pytest.warns(DeprecationWarning, match="table5"):
+        experiments.table5_response_time()
+
+
+@pytest.fixture
+def registry_cache(tmp_path):
+    """Point the experiment suite at a fresh persistent cache directory."""
+    from repro.eval import experiments
+
+    # Resolve the trained models against the session cache *before*
+    # swapping, so this test never pays for training itself.
+    models = experiments.shared_models(0)
+
+    def use(cache):
+        previous = set_default_cache(cache)
+        experiments.shared_models.cache_clear()
+        experiments.place_setup.cache_clear()
+        experiments._impl_fig8_environment.cache_clear()
+        return previous
+
+    first = ArtifactCache(tmp_path, tracer=Tracer())
+    previous = use(first)
+    first.put_error_models(models, 0)
+    yield tmp_path, first, use
+    use(previous)
+
+
+def test_second_registry_run_hits_cache_and_skips_offline_work(registry_cache):
+    """Acceptance: rerunning an experiment with an unchanged config must
+    resolve every offline artifact from the cache — no training spans,
+    no survey spans."""
+    tmp_path, first, use = registry_cache
+
+    run_experiment("fig8c", workers=1)
+    first_names = [root.name for root in first.tracer.roots]
+    assert "fleet.survey_place" in first_names  # cold: surveyed once
+    assert "fleet.train_error_models" not in first_names
+
+    # Fresh process simulation: new cache instance, same directory, with
+    # all in-memory memoization dropped.
+    second = ArtifactCache(tmp_path, tracer=Tracer())
+    use(second)
+    result = run_experiment("fig8c", workers=1)
+    second_names = [root.name for root in second.tracer.roots]
+    assert "fleet.train_error_models" not in second_names
+    assert "fleet.survey_place" not in second_names
+    assert "fleet.cache.hit" in second_names
+    assert result.errors("uniloc2")

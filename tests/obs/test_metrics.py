@@ -102,3 +102,45 @@ def test_registry_as_dict_and_render():
     assert "steps" in rendered
     assert "lat_ms" in rendered
     assert "p99" in rendered
+
+
+def test_snapshot_is_lossless_and_pickle_safe():
+    import pickle
+
+    registry = MetricsRegistry()
+    registry.counter("walks").inc(2)
+    registry.gauge("pid").set(123.0)
+    registry.histogram("lat_ms").observe(1.0)
+    registry.histogram("lat_ms").observe(9.0)
+    snap = pickle.loads(pickle.dumps(registry.snapshot()))
+    assert snap["walks"] == {"kind": "counter", "value": 2}
+    assert snap["pid"] == {"kind": "gauge", "value": 123.0}
+    assert snap["lat_ms"] == {"kind": "histogram", "values": [1.0, 9.0]}
+
+
+def test_merge_snapshot_combines_registries_exactly():
+    worker_a, worker_b, parent = (
+        MetricsRegistry(),
+        MetricsRegistry(),
+        MetricsRegistry(),
+    )
+    worker_a.counter("walks").inc()
+    worker_a.histogram("lat_ms").observe(1.0)
+    worker_b.counter("walks").inc()
+    worker_b.histogram("lat_ms").observe(3.0)
+    worker_b.gauge("pid").set(7.0)
+    parent.merge_snapshot(worker_a.snapshot())
+    parent.merge_snapshot(worker_b.snapshot())
+    assert parent.counter("walks").value == 2
+    assert parent.histogram("lat_ms").values() == [1.0, 3.0]
+    assert parent.histogram("lat_ms").percentile(50) == 2.0
+    assert parent.gauge("pid").value == 7.0
+
+
+def test_merge_snapshot_rejects_unknown_kind_and_kind_clash():
+    parent = MetricsRegistry()
+    with pytest.raises(TypeError):
+        parent.merge_snapshot({"x": {"kind": "meter", "value": 1}})
+    parent.counter("y")
+    with pytest.raises(TypeError):
+        parent.merge_snapshot({"y": {"kind": "histogram", "values": [1.0]}})

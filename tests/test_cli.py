@@ -130,3 +130,51 @@ def test_train_saves_models(tmp_path, capsys):
     assert "fusion" in models
     out = capsys.readouterr().out
     assert "sigma_e" in out
+
+
+def test_run_list_prints_registry(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out
+    assert "table3" in out
+
+
+def test_run_without_args_errors(capsys):
+    assert main(["run"]) == 2
+    assert "experiment name or PLACE PATH" in capsys.readouterr().err
+
+
+def test_run_unknown_experiment_errors(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "neither a registered experiment" in capsys.readouterr().err
+
+
+def test_run_experiment_rejects_trace_flag(capsys):
+    assert main(["run", "fig3", "--trace", "/tmp/x.jsonl"]) == 2
+    assert "--trace" in capsys.readouterr().err
+
+
+def test_run_table5_experiment(capsys):
+    assert main(["run", "table5"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out
+    assert "ms" in out
+
+
+def test_cache_key_is_config_hash(capsys):
+    from repro.fleet import config_hash
+
+    assert main(["cache", "key"]) == 0
+    assert capsys.readouterr().out.strip() == config_hash()
+
+
+def test_cache_ls_and_clear_empty_dir(tmp_path, capsys):
+    assert main(["cache", "ls", "--dir", str(tmp_path)]) == 0
+    assert "empty" in capsys.readouterr().out
+    assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_cache_warm_rejects_unknown_place(tmp_path, capsys):
+    assert main(["cache", "warm", "--dir", str(tmp_path), "--places", "atlantis"]) == 2
+    assert "unknown places" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Tests for the shared versioned artifact-header helper."""
+
+import pytest
+
+from repro.formats import UnsupportedFormatError, check_header, format_header
+
+
+def test_header_carries_format_version_and_provenance():
+    header = format_header("fingerprints", 3)
+    assert header["format"] == "fingerprints"
+    assert header["version"] == 3
+    assert header["created_by"].startswith("repro ")
+
+
+def test_check_header_accepts_current_and_older_versions():
+    payload = {**format_header("trace", 2), "steps": []}
+    assert check_header(payload, "trace", 2) is payload
+    assert check_header({"format": "trace", "version": 1}, "trace", 2)
+
+
+def test_wrong_format_tag_is_rejected_with_source():
+    with pytest.raises(UnsupportedFormatError, match="steps.jsonl"):
+        check_header(
+            {"format": "fingerprints", "version": 1},
+            "trace",
+            1,
+            source="steps.jsonl",
+        )
+
+
+def test_missing_header_is_rejected():
+    with pytest.raises(UnsupportedFormatError, match="None"):
+        check_header({"data": []}, "trace", 1)
+
+
+def test_newer_version_is_rejected_and_names_the_writer():
+    payload = {"format": "trace", "version": 9, "created_by": "repro 99.0"}
+    with pytest.raises(UnsupportedFormatError, match="repro 99.0"):
+        check_header(payload, "trace", 1)
+
+
+def test_non_integer_version_is_rejected():
+    with pytest.raises(UnsupportedFormatError):
+        check_header({"format": "trace", "version": "two"}, "trace", 3)
+
+
+def test_unsupported_format_error_is_a_value_error():
+    # Pre-existing call sites catch ValueError; the subclass keeps them
+    # working.
+    with pytest.raises(ValueError):
+        check_header({}, "trace", 1)
