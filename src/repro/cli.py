@@ -28,6 +28,11 @@ Commands mirror the paper's workflow:
 ``report TRACE``
     Aggregate a JSONL step trace into per-scheme usage, availability,
     latency percentiles, and duty-cycle stats.
+``chaos [--kind crash] [--workers N] [--strict]``
+    Run the fault-matrix resilience experiment: one clean baseline walk
+    plus one walk per scheme with that scheme at 100% failure, printing
+    whether UniLoc2 still beats the best surviving single scheme (see
+    README "Fault injection & resilience").
 
 ``run PLACE PATH`` also accepts ``--trace PATH`` to export the
 telemetry stream while printing its usual evaluation.  Offline
@@ -75,7 +80,10 @@ def cmd_train(args: argparse.Namespace) -> int:
     """Train the error models and optionally persist them."""
     models = _cache(args).error_models(args.seed)
     for name, model_set in models.items():
-        for label, model in (("indoor", model_set.indoor), ("outdoor", model_set.outdoor)):
+        for label, model in (
+            ("indoor", model_set.indoor),
+            ("outdoor", model_set.outdoor),
+        ):
             if model.is_fitted:
                 s = model.summary
                 betas = ", ".join(f"{b:+.3f}" for b in s.coefficients)
@@ -353,6 +361,63 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the single-scheme-outage resilience matrix and report it."""
+    import json
+
+    from repro.faults.chaos import chaos_matrix
+    from repro.fleet import set_default_cache
+    from repro.obs import MetricsRegistry
+
+    if args.cache_dir:
+        set_default_cache(_cache(args))
+    metrics = MetricsRegistry()
+    try:
+        rows = chaos_matrix(
+            seed=args.seed,
+            workers=args.workers,
+            place_name=args.place,
+            path_name=args.path,
+            kind=args.kind,
+            metrics=metrics,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps({k: asdict(v) for k, v in rows.items()}, indent=2))
+    else:
+        print(
+            f"chaos matrix: {args.place}/{args.path}, "
+            f"fault kind {args.kind!r}, seed {args.seed}\n"
+        )
+        for name, row in rows.items():
+            print(f"  {name:9s} {row.describe()}")
+        fault_lines = [
+            f"  {name:40s} {metric.value}"
+            for name, metric in sorted(metrics)
+            if name.startswith(("uniloc.faults.", "uniloc.quarantine."))
+        ]
+        if fault_lines:
+            print("\nfault telemetry:")
+            print("\n".join(fault_lines))
+
+    degraded = [r for r in rows.values() if r.outage != "none"]
+    losses = [r for r in degraded if not r.survived or r.margin <= 0]
+    if losses:
+        print(
+            "\nresilience violated: "
+            + ", ".join(r.outage for r in losses),
+            file=sys.stderr,
+        )
+    if args.strict and losses:
+        return 1
+    return 0
+
+
 def cmd_tables(_: argparse.Namespace) -> int:
     """Print the modeled Table IV / Table V constants."""
     from repro.energy import response_time, scheme_energy
@@ -396,7 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list registered experiments"
     )
     p_run.add_argument(
-        "--workers", type=int, default=None, help="worker processes for multi-walk experiments"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for multi-walk experiments",
     )
     p_run.add_argument(
         "--n-walks", type=int, default=None, help="walks to pool (pooled experiments)"
@@ -411,7 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser("cache", help="manage the persistent artifact cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_ls = cache_sub.add_parser("ls", help="list cache entries")
-    p_ls.add_argument("--dir", help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_ls.add_argument(
+        "--dir", help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)"
+    )
     p_clear = cache_sub.add_parser("clear", help="delete cache entries")
     p_clear.add_argument("--dir", help="cache directory")
     p_clear.add_argument(
@@ -456,6 +526,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("path")
     p_record.add_argument("--out", required=True)
     p_record.set_defaults(func=cmd_record)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the single-scheme-outage resilience matrix"
+    )
+    p_chaos.add_argument(
+        "--place", default="daily", help="place to walk (default: daily)"
+    )
+    p_chaos.add_argument(
+        "--path", default="path1", help="path within the place (default: path1)"
+    )
+    p_chaos.add_argument(
+        "--kind",
+        default="crash",
+        choices=["crash", "drop", "hang", "nan", "garbage"],
+        help="scheme fault kind to inject (default: crash)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=1, help="fleet worker processes"
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true", help="emit the matrix as JSON"
+    )
+    p_chaos.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any outage breaks the UniLoc2-beats-survivors shape",
+    )
+    p_chaos.add_argument("--cache-dir", help="persistent artifact cache directory")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     sub.add_parser("tables", help="print energy/latency tables").set_defaults(
         func=cmd_tables

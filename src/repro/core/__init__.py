@@ -11,7 +11,12 @@ from repro.core.features import (
     GpsFeatures,
     MotionFeatures,
 )
-from repro.core.framework import SchemeBundle, StepDecision, UniLocFramework
+from repro.core.framework import (
+    SchemeBundle,
+    SchemeHealth,
+    StepDecision,
+    UniLocFramework,
+)
 from repro.core.hmm import SecondOrderHmm
 from repro.core.kalman import KalmanLocationPredictor
 from repro.core.iodetector import IODetector
@@ -44,6 +49,7 @@ __all__ = [
     "OracleSelection",
     "RegressionSummary",
     "SchemeBundle",
+    "SchemeHealth",
     "SecondOrderHmm",
     "StepDecision",
     "TrainingSample",

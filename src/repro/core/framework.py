@@ -19,10 +19,30 @@ temporarily excluded.  GPS is additionally duty-cycled for energy: since
 its outdoor error model is intercept-only, its error is predicted without
 powering the chip, and the chip is only "turned on" when GPS is expected
 to be the most accurate scheme (§IV-C).
+
+Beyond unavailability, the framework degrades gracefully under scheme
+*failure* — the regime :mod:`repro.faults` injects and the paper's
+diversity claim must survive:
+
+* a scheme that raises is caught and excluded for the step;
+* a scheme whose ``estimate()`` exceeds the optional per-step timeout
+  budget has its output discarded;
+* non-finite outputs (NaN/Inf position or spread) are rejected before
+  they can poison the BMA mixture;
+* schemes that fail repeatedly are quarantined — skipped entirely — for
+  an exponentially growing number of steps (:class:`SchemeHealth`), and
+  probed again when the backoff expires;
+* a recently-faulty scheme's confidence is decayed back in over a few
+  steps, so one good answer after a crash burst does not immediately
+  dominate the ensemble.
+
+Every failure, quarantine entry, and skipped step is counted in the
+attached metrics registry and annotated on the tracing spans.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,6 +70,64 @@ class SchemeBundle:
 
 
 @dataclass
+class SchemeHealth:
+    """Failure tracking and quarantine state for one scheme.
+
+    The framework treats *failures* (exceptions, timeouts, non-finite
+    outputs) differently from plain unavailability (a ``None`` output):
+    unavailability is the paper's normal §IV-A regime, while repeated
+    failures indicate a broken scheme that should stop being called.
+    After ``threshold`` consecutive failures the scheme is quarantined
+    for ``base_steps`` steps; every re-quarantine while still failing
+    doubles the backoff (capped), and one healthy probe resets it.
+    """
+
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    quarantines: int = 0
+    #: First step index at which the scheme may run again.
+    quarantined_until: int = 0
+    last_failure_step: int | None = None
+
+    def is_quarantined(self, step: int) -> bool:
+        """Return True while the scheme is being skipped."""
+        return step < self.quarantined_until
+
+    def note_success(self) -> None:
+        """Record a healthy output: failure streak and backoff reset."""
+        self.consecutive_failures = 0
+        self.quarantines = 0
+
+    def note_failure(
+        self, step: int, threshold: int, base_steps: int, max_steps: int
+    ) -> bool:
+        """Record one failure; return True when it (re-)enters quarantine."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        self.last_failure_step = step
+        if self.consecutive_failures < threshold:
+            return False
+        backoff = min(base_steps * (2**self.quarantines), max_steps)
+        self.quarantined_until = step + 1 + backoff
+        self.quarantines += 1
+        return True
+
+    def recovery_factor(self, step: int, decay_steps: int) -> float:
+        """Return the confidence multiplier after recent failures.
+
+        Ramps linearly from 0 at the failure step back to 1 after
+        ``decay_steps`` healthy steps; 1.0 for never-failed schemes, so
+        the clean path is numerically untouched.
+        """
+        if self.last_failure_step is None or decay_steps <= 0:
+            return 1.0
+        since = step - self.last_failure_step
+        if since >= decay_steps:
+            return 1.0
+        return max(since, 0) / decay_steps
+
+
+@dataclass
 class StepDecision:
     """Everything UniLoc decided at one location-estimation step."""
 
@@ -66,6 +144,12 @@ class StepDecision:
     #: Per-scheme ``estimate()`` wall time; populated only when the
     #: framework runs with a recording tracer (empty on the no-op path).
     scheme_latency_ms: dict[str, float] = field(default_factory=dict)
+    #: Schemes that *failed* this step (exception / timeout / non-finite
+    #: output), mapped to the failure kind.  Distinct from plain
+    #: unavailability, which is a ``None`` output with no entry here.
+    failures: dict[str, str] = field(default_factory=dict)
+    #: Schemes skipped this step because they are serving a quarantine.
+    quarantined: tuple[str, ...] = ()
 
     def available_schemes(self) -> list[str]:
         """Return the schemes that produced an output this step."""
@@ -90,8 +174,25 @@ class UniLocFramework:
             lookup per span site; swap in :class:`repro.obs.Tracer` to
             record per-step wall-time trees and per-scheme latency.
         metrics: optional registry accumulating step counters (scheme
-            selections, GPS powering, indoor steps) and — when a
-            recording tracer is attached — latency histograms.
+            selections, GPS powering, indoor steps, per-scheme failures
+            and quarantines) and — when a recording tracer is attached —
+            latency histograms.
+        scheme_timeout_ms: per-step wall-time budget for one scheme's
+            ``estimate()``; outputs that arrive later are discarded and
+            counted as a ``timeout`` failure (None disables the budget).
+        quarantine_threshold: consecutive failures before a scheme is
+            quarantined.
+        quarantine_base_steps: length of the first quarantine; each
+            re-quarantine while the scheme keeps failing doubles it.
+        quarantine_max_steps: backoff cap.
+        confidence_decay_steps: healthy steps over which a recently
+            faulty scheme's confidence ramps back to full weight.
+        implausible_margin_m: estimates farther than this outside the
+            place's bounding box are discarded as ``implausible``
+            failures before they can reach the BMA mixture — a finite
+            but wildly wrong coordinate (a garbage scheme output) is as
+            poisonous as a NaN.  The default is far beyond any honest
+            scheme's worst-case error; None disables the gate.
     """
 
     place: Place
@@ -103,10 +204,18 @@ class UniLocFramework:
     location_predictor: object | None = None
     tracer: object = NOOP_TRACER
     metrics: MetricsRegistry | None = None
+    scheme_timeout_ms: float | None = None
+    quarantine_threshold: int = 3
+    quarantine_base_steps: int = 8
+    quarantine_max_steps: int = 256
+    confidence_decay_steps: int = 5
+    implausible_margin_m: float | None = 500.0
 
     def __post_init__(self) -> None:
         if not self.bundles:
             raise ValueError("UniLoc needs at least one scheme")
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
         self._grid: Grid = self.place.grid(self.grid_cell_m)
         # Any object with observe/predict/reset works (second-order HMM by
         # default; a Kalman predictor is the paper-sanctioned alternative).
@@ -115,15 +224,30 @@ class UniLocFramework:
             if self.location_predictor is not None
             else SecondOrderHmm(self._grid)
         )
+        self._step_index = 0
+        self._health: dict[str, SchemeHealth] = {
+            name: SchemeHealth() for name in self.bundles
+        }
+        self._bounds = self.place.boundary.bounding_box()
 
     @property
     def grid(self) -> Grid:
         """Return the BMA discretization grid."""
         return self._grid
 
+    def health(self, name: str) -> SchemeHealth:
+        """Return the live health record of one registered scheme.
+
+        Raises:
+            KeyError: for an unregistered scheme name.
+        """
+        return self._health[name]
+
     def reset(self) -> None:
-        """Reset all schemes and the trajectory predictor for a new walk."""
+        """Reset all schemes, health tracking, and the trajectory predictor."""
         self._hmm.reset()
+        self._step_index = 0
+        self._health = {name: SchemeHealth() for name in self.bundles}
         for bundle in self.bundles.values():
             bundle.scheme.reset()
 
@@ -136,6 +260,7 @@ class UniLocFramework:
         if name in self.bundles:
             raise ValueError(f"scheme {name!r} already registered")
         self.bundles[name] = bundle
+        self._health[name] = SchemeHealth()
 
     # ------------------------------------------------------------------
 
@@ -144,12 +269,15 @@ class UniLocFramework:
         with self.tracer.span("uniloc.step") as step_span:
             decision = self._step(snapshot)
         self._record_step_metrics(decision, step_span)
+        self._step_index += 1
         return decision
 
     def _step(self, snapshot: SensorSnapshot) -> StepDecision:
         with self.tracer.span("uniloc.iodetect"):
             indoor = self.iodetector.is_indoor(snapshot)
-        outputs, predicted_errors, latencies = self._run_schemes(snapshot, indoor)
+        outputs, predicted_errors, latencies, failures, quarantined = (
+            self._run_schemes(snapshot, indoor)
+        )
 
         available = {
             name: err
@@ -169,6 +297,8 @@ class UniLocFramework:
                 uniloc2_position=None,
                 gps_enabled=self._gps_ran(outputs),
                 scheme_latency_ms=latencies,
+                failures=failures,
+                quarantined=quarantined,
             )
 
         tau = adaptive_threshold(list(available.values()))
@@ -180,6 +310,7 @@ class UniLocFramework:
             )
             for name, err in available.items()
         }
+        confidences = self._decay_confidences(confidences)
         weights = normalized_weights(confidences)
 
         selected = max(confidences, key=confidences.get)
@@ -200,7 +331,24 @@ class UniLocFramework:
             uniloc2_position=uniloc2_position,
             gps_enabled=self._gps_ran(outputs),
             scheme_latency_ms=latencies,
+            failures=failures,
+            quarantined=quarantined,
         )
+
+    def _decay_confidences(self, confidences: dict[str, float]) -> dict[str, float]:
+        """Scale down the confidence of recently-faulty schemes.
+
+        Schemes with a clean history get factor 1.0 and their confidence
+        value passes through unmultiplied, keeping fault-free walks
+        bit-identical to the pre-degradation framework.
+        """
+        decayed: dict[str, float] = {}
+        for name, value in confidences.items():
+            factor = self._health[name].recovery_factor(
+                self._step_index, self.confidence_decay_steps
+            )
+            decayed[name] = value if factor == 1.0 else value * factor
+        return decayed
 
     def _record_step_metrics(self, decision: StepDecision, step_span: object) -> None:
         if self.metrics is None:
@@ -215,6 +363,8 @@ class UniLocFramework:
             m.counter("uniloc.gps_powered").inc()
         if decision.indoor:
             m.counter("uniloc.indoor_steps").inc()
+        if decision.failures:
+            m.counter("uniloc.steps_with_failures").inc()
         if self.tracer.enabled:
             m.histogram("uniloc.step_ms").observe(step_span.duration_ms)
             for name, latency in decision.scheme_latency_ms.items():
@@ -224,20 +374,29 @@ class UniLocFramework:
 
     def _run_schemes(
         self, snapshot: SensorSnapshot, indoor: bool
-    ) -> tuple[dict[str, SchemeOutput | None], dict[str, float], dict[str, float]]:
+    ) -> tuple[
+        dict[str, SchemeOutput | None],
+        dict[str, float],
+        dict[str, float],
+        dict[str, str],
+        tuple[str, ...],
+    ]:
         """Run all schemes and predict every scheme's error exactly once.
 
-        Returns ``(outputs, predicted_errors, latencies_ms)``.  The GPS
-        energy policy (§IV-C) reuses the shared error predictions instead
-        of recomputing them, so error prediction runs once per step.
+        Returns ``(outputs, predicted_errors, latencies_ms, failures,
+        quarantined)``.  The GPS energy policy (§IV-C) reuses the shared
+        error predictions instead of recomputing them, so error
+        prediction runs once per step.
         """
         outputs: dict[str, SchemeOutput | None] = {}
         latencies: dict[str, float] = {}
+        failures: dict[str, str] = {}
+        skipped: list[str] = []
         for name, bundle in self.bundles.items():
             if name == self.gps_scheme and self.gps_duty_cycling:
                 continue  # decided after the other schemes' errors are known
-            outputs[name] = self._timed_estimate(
-                name, bundle.scheme, snapshot, latencies
+            outputs[name] = self._run_scheme(
+                name, bundle.scheme, snapshot, latencies, failures, skipped
             )
         predicted_location = self._predicted_location(outputs)
         with self.tracer.span("uniloc.predict_errors"):
@@ -246,25 +405,108 @@ class UniLocFramework:
             )
         if self.gps_scheme in self.bundles and self.gps_duty_cycling:
             outputs[self.gps_scheme] = self._gps_policy_output(
-                snapshot, outputs, predicted_errors, indoor, latencies
+                snapshot,
+                outputs,
+                predicted_errors,
+                indoor,
+                latencies,
+                failures,
+                skipped,
             )
-        return outputs, predicted_errors, latencies
+        return outputs, predicted_errors, latencies, failures, tuple(skipped)
 
-    def _timed_estimate(
+    def _run_scheme(
         self,
         name: str,
         scheme: LocalizationScheme,
         snapshot: SensorSnapshot,
         latencies: dict[str, float],
+        failures: dict[str, str],
+        skipped: list[str],
     ) -> SchemeOutput | None:
-        """Run one scheme, recording its latency when tracing is on."""
-        if not self.tracer.enabled:
-            return scheme.estimate(snapshot)
-        with self.tracer.span("scheme.estimate", scheme=name) as span:
-            output = scheme.estimate(snapshot)
-        span.annotate(available=output is not None)
-        latencies[name] = span.duration_ms
+        """Run one scheme through quarantine, guarding, and bookkeeping."""
+        health = self._health[name]
+        if health.is_quarantined(self._step_index):
+            skipped.append(name)
+            if self.metrics is not None:
+                self.metrics.counter(f"uniloc.quarantine.skipped.{name}").inc()
+            return None
+        output, failure = self._guarded_estimate(name, scheme, snapshot, latencies)
+        if failure is not None:
+            failures[name] = failure
+            self._note_failure(name, health, failure)
+            return None
+        if output is not None:
+            health.note_success()
         return output
+
+    def _guarded_estimate(
+        self,
+        name: str,
+        scheme: LocalizationScheme,
+        snapshot: SensorSnapshot,
+        latencies: dict[str, float],
+    ) -> tuple[SchemeOutput | None, str | None]:
+        """Run one scheme defensively; returns ``(output, failure_kind)``.
+
+        Catches any exception (schemes are black boxes — §III-A says the
+        framework must not trust them), enforces the optional per-step
+        timeout budget, and rejects non-finite outputs.  Latency is
+        recorded when tracing is on, exactly as before.
+        """
+        budget = self.scheme_timeout_ms
+        if self.tracer.enabled:
+            with self.tracer.span("scheme.estimate", scheme=name) as span:
+                try:
+                    output = scheme.estimate(snapshot)
+                except Exception as exc:  # noqa: BLE001 — black-box scheme
+                    span.annotate(failed="exception", error=type(exc).__name__)
+                    latencies[name] = span.duration_ms
+                    return None, "exception"
+            latencies[name] = span.duration_ms
+            elapsed_ms = span.duration_ms
+            span.annotate(available=output is not None)
+        else:
+            start = time.perf_counter() if budget is not None else 0.0
+            try:
+                output = scheme.estimate(snapshot)
+            except Exception:  # noqa: BLE001 — black-box scheme
+                return None, "exception"
+            elapsed_ms = (
+                (time.perf_counter() - start) * 1e3 if budget is not None else 0.0
+            )
+        if budget is not None and elapsed_ms > budget:
+            return None, "timeout"
+        if output is not None and not output.is_finite():
+            return None, "nonfinite"
+        if output is not None and not self._plausible(output.position):
+            return None, "implausible"
+        return output, None
+
+    def _plausible(self, position: Point) -> bool:
+        """True when an estimate lies within the place plus a wide margin."""
+        margin = self.implausible_margin_m
+        if margin is None:
+            return True
+        min_x, min_y, max_x, max_y = self._bounds
+        return (
+            min_x - margin <= position.x <= max_x + margin
+            and min_y - margin <= position.y <= max_y + margin
+        )
+
+    def _note_failure(self, name: str, health: SchemeHealth, kind: str) -> None:
+        """Update health tracking and metrics after one scheme failure."""
+        entered = health.note_failure(
+            self._step_index,
+            self.quarantine_threshold,
+            self.quarantine_base_steps,
+            self.quarantine_max_steps,
+        )
+        if self.metrics is None:
+            return
+        self.metrics.counter(f"uniloc.faults.{name}.{kind}").inc()
+        if entered:
+            self.metrics.counter(f"uniloc.quarantine.entered.{name}").inc()
 
     def _gps_policy_output(
         self,
@@ -273,6 +515,8 @@ class UniLocFramework:
         predicted_errors: dict[str, float],
         indoor: bool,
         latencies: dict[str, float],
+        failures: dict[str, str],
+        skipped: list[str],
     ) -> SchemeOutput | None:
         """Apply §IV-C: power GPS only when predicted to be the best.
 
@@ -280,7 +524,8 @@ class UniLocFramework:
         error — already present in the shared ``predicted_errors`` since
         the GPS outdoor model needs no output-derived features — is
         compared against the other schemes' predictions; only when GPS
-        wins is the chip enabled and its output consumed.
+        wins is the chip enabled and its output consumed (through the
+        same quarantine/guard path as every other scheme).
         """
         if indoor:
             return None
@@ -294,8 +539,13 @@ class UniLocFramework:
         ]
         if competitors and gps_error >= min(competitors):
             return None
-        return self._timed_estimate(
-            self.gps_scheme, self.bundles[self.gps_scheme].scheme, snapshot, latencies
+        return self._run_scheme(
+            self.gps_scheme,
+            self.bundles[self.gps_scheme].scheme,
+            snapshot,
+            latencies,
+            failures,
+            skipped,
         )
 
     def _gps_ran(self, outputs: dict[str, SchemeOutput | None]) -> bool:

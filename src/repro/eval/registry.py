@@ -84,6 +84,13 @@ def _pooled(cfg: ExperimentConfig) -> Any:
     )
 
 
+def _chaos(cfg: ExperimentConfig) -> Any:
+    # Deferred import: repro.faults.chaos pulls in the fleet layer.
+    from repro.faults.chaos import chaos_matrix
+
+    return chaos_matrix(seed=cfg.seed, workers=cfg.workers)
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     e.name: e
     for e in (
@@ -187,6 +194,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             title="Modeled response-time decomposition",
             kind="table",
             run=lambda cfg: _exp._impl_table5_response_time(),
+        ),
+        Experiment(
+            name="chaos",
+            title="Resilience matrix: UniLoc2 under single-scheme outages",
+            kind="table",
+            run=_chaos,
+            config=ExperimentConfig(n_walks=6),
         ),
     )
 }
@@ -311,6 +325,8 @@ def _render_table(value: Any, indent: str = "") -> str:
         )
     if isinstance(value, float):
         return f"{indent}{value:.3f}"
+    if hasattr(value, "describe"):  # OutageRow, WalkFailure, ...
+        return f"{indent}{value.describe()}"
     if isinstance(value, tuple):
         return indent + ", ".join(str(v) for v in value)
     return f"{indent}{value}"

@@ -1,0 +1,57 @@
+"""Deterministic fault injection for UniLoc resilience experiments.
+
+``repro.faults`` describes failures as data: a :class:`FaultPlan` is a
+frozen, seedable value object listing scheme faults (crash, drop, hang,
+NaN, garbage output), sensor faults (stale GPS, radio blackout, IMU
+dropout), and an optional one-shot worker death.  Plans wrap schemes
+and corrupt sensor snapshots *without modifying their code*, every
+stochastic draw is a stateless function of ``(plan seed, fault index,
+step index)``, and the same plan replayed over the same walk produces
+the same casualties — faults are as reproducible as everything else in
+the repo.
+
+The matching graceful-degradation machinery lives in
+:mod:`repro.core.framework` (exception containment, quarantine with
+exponential backoff, non-finite rejection, confidence decay) and in
+:mod:`repro.fleet.executor` (worker-crash retry).  The
+:func:`chaos_matrix` experiment ties the two together; it is exposed
+lazily because it imports the fleet/eval layers, which themselves
+import this package.
+"""
+
+from repro.faults.injectors import (
+    GARBAGE_RADIUS_M,
+    FaultyScheme,
+    InjectedFault,
+    corrupt_snapshots,
+)
+from repro.faults.plan import (
+    SCHEME_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultPlan,
+    SchemeFault,
+    SensorFault,
+)
+
+__all__ = [
+    "GARBAGE_RADIUS_M",
+    "SCHEME_FAULT_KINDS",
+    "SENSOR_FAULT_KINDS",
+    "FaultPlan",
+    "FaultyScheme",
+    "InjectedFault",
+    "OutageRow",
+    "SchemeFault",
+    "SensorFault",
+    "chaos_matrix",
+    "corrupt_snapshots",
+]
+
+
+def __getattr__(name: str):
+    # chaos imports eval/fleet, which import faults; resolve on demand.
+    if name in ("chaos_matrix", "OutageRow"):
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

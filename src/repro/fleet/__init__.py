@@ -19,12 +19,23 @@ from repro.fleet.cache import (
     place_names,
     set_default_cache,
 )
-from repro.fleet.executor import WalkJob, execute_job, iter_walks, run_walks
+from repro.fleet.executor import (
+    MAX_WORKER_CRASH_RETRIES,
+    FleetError,
+    WalkFailure,
+    WalkJob,
+    execute_job,
+    iter_walks,
+    run_walks,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "MAX_WORKER_CRASH_RETRIES",
     "ArtifactCache",
     "CacheEntry",
+    "FleetError",
+    "WalkFailure",
     "WalkJob",
     "config_fingerprint",
     "config_hash",

@@ -23,14 +23,26 @@ directory a worker never trains or surveys anything.
 Per-worker :mod:`repro.obs` metrics are snapshotted in the worker,
 shipped back with each result, and folded into the single registry the
 caller passed, so observability survives the process fan-out.
+
+Worker death is survivable: when a worker process dies hard (OOM kill,
+segfault, an injected :class:`~repro.faults.plan.FaultPlan` kill), the
+pool is rebuilt and every in-flight job is re-queued once; a job whose
+worker dies twice surfaces as a structured :class:`WalkFailure` instead
+of a raw ``BrokenProcessPool`` — and every walk that completed before
+the crash is preserved.  :func:`run_walks` raises :class:`FleetError`
+(carrying the partial results *and* the failure records) by default, or
+returns the failures in-band with ``on_failure="return"``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback as _traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, replace
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Iterator
 
 import numpy as np
@@ -39,6 +51,10 @@ from repro.fleet.cache import ArtifactCache, default_cache
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NOOP_TRACER
 from repro.sensors import NEXUS_5X, DeviceProfile
+
+#: How many times a job whose worker died is re-queued before it is
+#: surfaced as a :class:`WalkFailure` (the ISSUE contract: once).
+MAX_WORKER_CRASH_RETRIES = 1
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,14 @@ class WalkJob:
             step decisions (the figures only need errors and telemetry;
             the clouds are reproducible from the seeds and would multiply
             cross-process transfer by ~10x).
+        gps_duty_cycling: forward the framework's §IV-C GPS power policy
+            flag; the chaos matrix disables it so the gps scheme is
+            actually queried (and can actually fail) at every step.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+            applied to the walk — scheme wrappers and sensor-trace
+            corruption are installed after the framework is built, and
+            the plan's stateless seeding keeps the chaos walk exactly as
+            deterministic as a clean one.
     """
 
     place_name: str
@@ -83,6 +107,60 @@ class WalkJob:
     grid_cell_m: float = 2.0
     start_noise_m: float = 0.0
     compact: bool = True
+    gps_duty_cycling: bool = True
+    fault_plan: Any = None
+
+
+@dataclass(frozen=True)
+class WalkFailure:
+    """Structured record of one job the engine could not complete.
+
+    Attributes:
+        index: the job's position in the submitted list.
+        job: the job itself (re-runnable for debugging).
+        kind: ``"worker_crash"`` (the hosting process died, retries
+            exhausted) or ``"job_error"`` (the job raised; deterministic,
+            so never retried).
+        attempts: how many times the job was started.
+        error: one-line description of the failure.
+        traceback: remote traceback text for ``job_error`` failures.
+    """
+
+    index: int
+    job: WalkJob
+    kind: str
+    attempts: int
+    error: str = ""
+    traceback: str = field(default="", repr=False)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"job {self.index} ({self.job.place_name}/{self.job.path_name}) "
+            f"{self.kind} after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+class FleetError(RuntimeError):
+    """Raised by :func:`run_walks` when jobs failed but others finished.
+
+    Attributes:
+        failures: every :class:`WalkFailure` (in job order).
+        results: the full job-ordered result list; completed entries are
+            real ``WalkResult``\\ s, failed entries are their
+            :class:`WalkFailure` records — partial work is never lost.
+    """
+
+    def __init__(self, failures: list[WalkFailure], results: list[Any]) -> None:
+        self.failures = failures
+        self.results = results
+        done = sum(
+            1 for r in results if r is not None and not isinstance(r, WalkFailure)
+        )
+        super().__init__(
+            f"{len(failures)} of {len(results)} walk jobs failed "
+            f"({done} completed): {failures[0].describe()}"
+        )
 
 
 #: Set in the parent just before forking so fork-started workers inherit
@@ -142,14 +220,39 @@ def execute_job(job: WalkJob, cache: ArtifactCache) -> Any:
         models,
         start,
         scheme_seed=job.walk_seed + 11,
+        gps_duty_cycling=job.gps_duty_cycling,
         grid_cell_m=job.grid_cell_m,
     )
+    # Degradation/fault telemetry flows into whatever registry the
+    # caller (or the per-worker snapshot machinery) attached to the cache.
+    framework.metrics = cache.metrics
+    if job.fault_plan is not None:
+        job.fault_plan.apply(framework)
+        snaps = job.fault_plan.corrupt(snaps)
     result = run_walk(framework, setup.place, job.path_name, walk, snaps)
     return _compact_result(result) if job.compact else result
 
 
+def _die_once(marker: str) -> None:
+    """Kill this worker process unless the tombstone already exists.
+
+    The injected worker-death fault must be one-shot — the whole point
+    of the retry path is that the re-queued attempt succeeds — so the
+    first execution writes a marker file and dies without cleanup
+    (``os._exit``, exactly like an OOM kill), and any later attempt
+    finds the marker and runs normally.
+    """
+    path = Path(marker)
+    if path.exists():
+        return
+    path.write_text(f"worker {os.getpid()} died here\n")
+    os._exit(86)
+
+
 def _execute_in_worker(job: WalkJob) -> tuple[Any, dict[str, Any]]:
     """Pool entry point: run a job and snapshot this worker's metrics."""
+    if job.fault_plan is not None and job.fault_plan.worker_death_marker:
+        _die_once(job.fault_plan.worker_death_marker)
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
     metrics = MetricsRegistry()
     previous = cache.metrics
@@ -170,6 +273,21 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _job_failure(
+    index: int, job: WalkJob, kind: str, attempts: int, exc: BaseException | None
+) -> WalkFailure:
+    """Build the structured failure record for one lost job."""
+    if exc is None:
+        error = "worker process died (BrokenProcessPool)"
+        tb = ""
+    else:
+        error = f"{type(exc).__name__}: {exc}"
+        tb = "".join(_traceback.format_exception(exc))
+    return WalkFailure(
+        index=index, job=job, kind=kind, attempts=attempts, error=error, traceback=tb
+    )
+
+
 def iter_walks(
     jobs: list[WalkJob],
     workers: int = 1,
@@ -177,11 +295,19 @@ def iter_walks(
     metrics: MetricsRegistry | None = None,
     tracer: object = NOOP_TRACER,
 ) -> Iterator[tuple[int, Any]]:
-    """Execute jobs and yield ``(job_index, WalkResult)`` as walks finish.
+    """Execute jobs and yield ``(job_index, result)`` as walks finish.
+
+    A yielded result is normally a ``WalkResult``; when a job cannot be
+    completed on the pool path it is a :class:`WalkFailure` instead —
+    a dead worker poisons only its in-flight jobs (each re-queued on a
+    fresh pool up to :data:`MAX_WORKER_CRASH_RETRIES` times), never the
+    walks that already finished.
 
     With ``workers <= 1`` (or a single job) everything runs inline in
-    this process — no pool, no pickling — which is also the reference
-    stream the determinism suite compares parallel runs against.
+    this process — no pool, no pickling, and no failure interception
+    (exceptions propagate raw, which is what debugging wants) — which is
+    also the reference stream the determinism suite compares parallel
+    runs against.
 
     Args:
         jobs: walk jobs; the yielded index refers into this list.
@@ -210,26 +336,75 @@ def iter_walks(
     global _WORKER_CACHE
     _WORKER_CACHE = cache  # inherited by fork workers
     cache_root = str(cache.root) if cache.root is not None else None
+    attempts = {index: 1 for index in range(len(jobs))}
+    queue = list(range(len(jobs)))
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(jobs)),
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(cache_root,),
-        ) as pool:
-            with tracer.span("fleet.dispatch", jobs=len(jobs), workers=workers):
-                pending = {
-                    pool.submit(_execute_in_worker, job): index
-                    for index, job in enumerate(jobs)
-                }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = pending.pop(future)
-                    result, snapshot = future.result()
+        while queue:
+            crashed: list[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(queue)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(cache_root,),
+            ) as pool:
+                with tracer.span("fleet.dispatch", jobs=len(queue), workers=workers):
+                    pending = {
+                        pool.submit(_execute_in_worker, jobs[index]): index
+                        for index in queue
+                    }
+                broken = False
+                while pending:
+                    if not broken:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    else:
+                        # The pool is dead: every remaining future either
+                        # finished before the crash (salvage it) or is
+                        # poisoned (re-queue it).  No more waiting.
+                        done = list(pending)
+                    for future in done:
+                        index = pending.pop(future)
+                        try:
+                            result, snapshot = future.result(
+                                timeout=0 if broken else None
+                            )
+                        except (BrokenProcessPool, TimeoutError):
+                            # TimeoutError: the pool broke but this future
+                            # never got its exception set — same casualty.
+                            broken = True
+                            crashed.append(index)
+                        except Exception as exc:  # deterministic job error
+                            if metrics is not None:
+                                metrics.counter("fleet.job_errors").inc()
+                            yield (
+                                index,
+                                _job_failure(
+                                    index, jobs[index], "job_error",
+                                    attempts[index], exc,
+                                ),
+                            )
+                        else:
+                            if metrics is not None:
+                                metrics.merge_snapshot(snapshot)
+                            yield index, result
+            queue = []
+            for index in sorted(crashed):
+                if metrics is not None:
+                    metrics.counter("fleet.worker_crashes").inc()
+                if attempts[index] > MAX_WORKER_CRASH_RETRIES:
                     if metrics is not None:
-                        metrics.merge_snapshot(snapshot)
-                    yield index, result
+                        metrics.counter("fleet.walk_failures").inc()
+                    yield (
+                        index,
+                        _job_failure(
+                            index, jobs[index], "worker_crash",
+                            attempts[index], None,
+                        ),
+                    )
+                else:
+                    attempts[index] += 1
+                    if metrics is not None:
+                        metrics.counter("fleet.jobs_retried").inc()
+                    queue.append(index)
     finally:
         _WORKER_CACHE = None
 
@@ -240,15 +415,39 @@ def run_walks(
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: object = NOOP_TRACER,
+    on_failure: str = "raise",
 ) -> list[Any]:
     """Execute jobs (optionally in parallel) and return results in job order.
 
     The aggregate is guaranteed identical for any ``workers`` value; see
     the module docstring for the determinism contract.
+
+    Args:
+        jobs: walk jobs to execute.
+        workers: worker processes (capped at ``len(jobs)``).
+        cache: artifact cache; defaults to the process-wide cache.
+        metrics: registry that absorbs every worker's metric snapshot.
+        tracer: span recorder for the dispatch path.
+        on_failure: ``"raise"`` (default) raises :class:`FleetError`
+            when any job failed — the exception still carries the full
+            partial result list — while ``"return"`` leaves each
+            :class:`WalkFailure` in-band in the returned list for
+            callers (like the chaos experiment) that expect casualties.
+
+    Raises:
+        FleetError: under ``on_failure="raise"`` when any job failed.
+        ValueError: for an unknown ``on_failure`` mode.
     """
+    if on_failure not in ("raise", "return"):
+        raise ValueError(f"unknown on_failure mode {on_failure!r}")
     results: list[Any] = [None] * len(jobs)
+    failures: list[WalkFailure] = []
     for index, result in iter_walks(
         jobs, workers=workers, cache=cache, metrics=metrics, tracer=tracer
     ):
         results[index] = result
+        if isinstance(result, WalkFailure):
+            failures.append(result)
+    if failures and on_failure == "raise":
+        raise FleetError(sorted(failures, key=lambda f: f.index), results)
     return results

@@ -83,6 +83,8 @@ def decision_to_dict(decision: Any) -> dict[str, Any]:
         ),
         "gps_enabled": decision.gps_enabled,
         "scheme_latency_ms": _finite_map(decision.scheme_latency_ms),
+        "failures": dict(decision.failures),
+        "quarantined": list(decision.quarantined),
     }
 
 
@@ -129,6 +131,9 @@ def decision_from_dict(data: dict[str, Any]) -> Any:
         uniloc2_position=_point(data["uniloc2"]),
         gps_enabled=data["gps_enabled"],
         scheme_latency_ms=_floats(data["scheme_latency_ms"]),
+        # Absent in pre-fault-injection traces; default to a clean step.
+        failures=dict(data.get("failures", {})),
+        quarantined=tuple(data.get("quarantined", ())),
     )
 
 

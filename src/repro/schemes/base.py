@@ -12,6 +12,7 @@ rasterizes any of the three shapes onto the place grid to get the
 from __future__ import annotations
 
 import abc
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -66,6 +67,20 @@ class SchemeOutput:
             and arrays_equal(self.sample_weights, other.sample_weights)
             and self.candidates == other.candidates
             and self.quality == other.quality
+        )
+
+    def is_finite(self) -> bool:
+        """Return True when the estimate is numerically usable.
+
+        A scheme emitting NaN/Inf coordinates or a non-finite spread
+        would silently poison the BMA mixture; the framework rejects
+        such outputs before they reach the ensemble (treating them as a
+        scheme failure rather than an unavailable step).
+        """
+        return bool(
+            math.isfinite(self.position.x)
+            and math.isfinite(self.position.y)
+            and math.isfinite(self.spread)
         )
 
     def grid_posterior(self, grid: Grid) -> np.ndarray:

@@ -45,6 +45,11 @@ class GpsStatus:
         """Return True when a position fix passed the reliability gate."""
         return self.fix is not None
 
+    @classmethod
+    def jammed(cls) -> "GpsStatus":
+        """Return the no-signal report (zero satellites, no fix)."""
+        return cls(n_satellites=0, hdop=float("inf"), fix=None)
+
 
 @dataclass
 class GpsReceiver:

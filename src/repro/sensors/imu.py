@@ -18,7 +18,7 @@ what drives PDR error growth between landmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -57,6 +57,10 @@ class ImuReading:
     heading_bias: float  # exposed for analysis/tests only; schemes must not read it
     orientation_change_rate: float
     magnetic_sigma_ut: float
+
+    def without_steps(self) -> "ImuReading":
+        """Return a dropout copy: no step events, frozen orientation."""
+        return replace(self, step_events=(), orientation_change_rate=0.0)
 
 
 @dataclass

@@ -9,7 +9,7 @@ ground truth**; the experiment harness keeps the true
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.sensors.gps import GpsStatus
 from repro.sensors.imu import ImuReading
@@ -51,3 +51,28 @@ class SensorSnapshot:
     def n_audible_towers(self) -> int:
         """Return the number of audible cell towers."""
         return len(self.cell_scan)
+
+    # -- degraded-copy constructors (snapshots are frozen) -------------
+    #
+    # Fault injection and the robustness suites derive corrupted traces
+    # from clean ones; these helpers keep every such derivation a
+    # non-mutating ``replace`` so recorded walks stay pristine.
+
+    def with_gps(self, gps: GpsStatus) -> "SensorSnapshot":
+        """Return a copy whose GPS chip reports ``gps`` instead."""
+        return replace(self, gps=gps)
+
+    def with_imu(self, imu: ImuReading) -> "SensorSnapshot":
+        """Return a copy whose inertial pipeline reports ``imu``."""
+        return replace(self, imu=imu)
+
+    def with_radio_blackout(self) -> "SensorSnapshot":
+        """Return a copy measured in a dead radio segment.
+
+        No audible AP, no audible tower, and a jammed GPS chip — the
+        basement/tunnel regime every scheme except dead reckoning goes
+        dark in.
+        """
+        return replace(
+            self, wifi_scan={}, cell_scan={}, gps=GpsStatus.jammed()
+        )

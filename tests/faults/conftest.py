@@ -1,0 +1,26 @@
+"""Shared fixtures for fault-injection tests: a trained office system."""
+
+import pytest
+
+from repro.eval import PlaceSetup, build_framework
+from repro.eval.experiments import shared_models
+
+
+@pytest.fixture(scope="package")
+def office_system():
+    """Trained models plus an office setup and one recorded walk."""
+    from repro.world import build_office_place
+
+    models = shared_models(0)
+    setup = PlaceSetup.create(build_office_place(), seed=21)
+    walk, snaps = setup.record_walk("survey", walk_seed=5, trace_seed=6)
+    return {"models": models, "setup": setup, "walk": walk, "snaps": snaps}
+
+
+@pytest.fixture
+def office_framework(office_system):
+    """A fresh framework per test (fault plans mutate the bundles)."""
+    sys = office_system
+    return build_framework(
+        sys["setup"], sys["models"], sys["walk"].moments[0].position
+    )

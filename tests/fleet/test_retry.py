@@ -1,0 +1,145 @@
+"""Worker-crash retry and structured-failure tests for the fleet engine.
+
+A dead worker process must never take down the whole batch: its
+in-flight jobs are re-queued once on a fresh pool, completed results
+are salvaged, and only jobs that crash repeatedly surface as
+:class:`WalkFailure` records (wrapped in :class:`FleetError` by
+default, with the partial results attached).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.fleet import (
+    MAX_WORKER_CRASH_RETRIES,
+    ArtifactCache,
+    FleetError,
+    WalkFailure,
+    WalkJob,
+    run_walks,
+)
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def warm_cache():
+    from repro.eval.experiments import shared_models
+
+    cache = ArtifactCache()
+    cache.put_error_models(shared_models(0), 0)
+    cache.place_setup("office", 3)
+    return cache
+
+
+def _job(idx=0, **overrides):
+    fields = dict(
+        place_name="office",
+        path_name="survey",
+        setup_seed=3,
+        models_seed=0,
+        walk_seed=100 + idx,
+        trace_seed=200 + idx,
+        max_length=20.0,
+    )
+    fields.update(overrides)
+    return WalkJob(**fields)
+
+
+def _death_plan(tmp_path, name):
+    return FaultPlan(worker_death_marker=str(tmp_path / name))
+
+
+def test_retry_limit_is_one(warm_cache):
+    assert MAX_WORKER_CRASH_RETRIES == 1
+
+
+def test_worker_death_is_retried_and_the_batch_completes(
+    warm_cache, tmp_path
+):
+    jobs = [
+        _job(0, fault_plan=_death_plan(tmp_path, "tomb")),
+        _job(1),
+    ]
+    metrics = MetricsRegistry()
+    results = run_walks(jobs, workers=2, cache=warm_cache, metrics=metrics)
+    assert all(not isinstance(r, WalkFailure) for r in results)
+    assert (tmp_path / "tomb").exists()  # the first attempt really died
+    assert metrics.counter("fleet.worker_crashes").value >= 1
+    assert metrics.counter("fleet.jobs_retried").value >= 1
+    assert metrics.counter("fleet.walk_failures").value == 0
+    # An armed-but-never-fired death plan changes nothing about the
+    # numbers: the retried job's walk is the same pure value.
+    [reference] = run_walks([_job(0)], cache=warm_cache)
+    assert results[0].errors("uniloc2") == reference.errors("uniloc2")
+
+
+def test_exhausted_retries_surface_structured_failures(
+    warm_cache, tmp_path, monkeypatch
+):
+    import repro.fleet.executor as executor
+
+    monkeypatch.setattr(executor, "MAX_WORKER_CRASH_RETRIES", 0)
+    jobs = [
+        _job(0, fault_plan=_death_plan(tmp_path, "tomb-a")),
+        _job(1, fault_plan=_death_plan(tmp_path, "tomb-b")),
+    ]
+    metrics = MetricsRegistry()
+    results = run_walks(
+        jobs, workers=2, cache=warm_cache, metrics=metrics, on_failure="return"
+    )
+    failures = [r for r in results if isinstance(r, WalkFailure)]
+    assert failures  # with zero retries a crash is terminal
+    for failure in failures:
+        assert failure.kind == "worker_crash"
+        assert failure.attempts == 1
+        assert "died" in failure.error
+        assert failure.job.place_name == "office"
+        assert "worker_crash" in failure.describe()
+    assert metrics.counter("fleet.walk_failures").value == len(failures)
+
+
+def test_job_error_is_not_retried_and_partial_results_survive(warm_cache):
+    jobs = [_job(0, place_name="atlantis"), _job(1)]
+    with pytest.raises(FleetError) as excinfo:
+        run_walks(jobs, workers=2, cache=warm_cache)
+    error = excinfo.value
+    [failure] = error.failures
+    assert failure.index == 0
+    assert failure.kind == "job_error"
+    assert failure.attempts == 1  # deterministic errors are never retried
+    assert "atlantis" in failure.error
+    assert "ValueError" in failure.traceback
+    # The healthy job's result rode along on the exception.
+    assert error.results[0] is failure
+    assert error.results[1].errors("uniloc2")
+    assert "1 of 2 walk jobs failed" in str(error)
+
+
+def test_on_failure_return_keeps_failures_in_band(warm_cache):
+    jobs = [_job(0, place_name="atlantis"), _job(1)]
+    results = run_walks(jobs, workers=2, cache=warm_cache, on_failure="return")
+    assert isinstance(results[0], WalkFailure)
+    assert results[1].errors("uniloc2")
+
+
+def test_unknown_on_failure_mode_rejected(warm_cache):
+    with pytest.raises(ValueError, match="on_failure"):
+        run_walks([_job(0)], cache=warm_cache, on_failure="explode")
+
+
+def test_inline_path_propagates_raw_exceptions(warm_cache):
+    # workers=1 is the debugging path: no interception, no FleetError.
+    with pytest.raises(ValueError, match="atlantis"):
+        run_walks([_job(0, place_name="atlantis")], workers=1, cache=warm_cache)
+
+
+def test_worker_death_never_triggers_inline(warm_cache, tmp_path):
+    # The one-shot kill lives in the worker entry point only; an inline
+    # run (workers=1) must not die even with an armed plan.
+    [result] = run_walks(
+        [_job(0, fault_plan=_death_plan(tmp_path, "tomb"))],
+        workers=1,
+        cache=warm_cache,
+    )
+    assert result.errors("uniloc2")
+    assert not (tmp_path / "tomb").exists()

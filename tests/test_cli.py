@@ -161,6 +161,30 @@ def test_run_table5_experiment(capsys):
     assert "ms" in out
 
 
+def test_chaos_appears_in_run_list(capsys):
+    assert main(["run", "--list"]) == 0
+    assert "chaos" in capsys.readouterr().out
+
+
+def test_chaos_rejects_unknown_fault_kind():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--kind", "meltdown"])
+
+
+def test_chaos_unknown_place_errors(capsys):
+    assert main(["chaos", "--place", "atlantis"]) == 2
+    assert "atlantis" in capsys.readouterr().err
+
+
+def test_chaos_parser_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.place == "daily"
+    assert args.path == "path1"
+    assert args.kind == "crash"
+    assert args.workers == 1
+    assert not args.strict and not args.json
+
+
 def test_cache_key_is_config_hash(capsys):
     from repro.fleet import config_hash
 
