@@ -1,0 +1,39 @@
+"""Repo-specific static analysis: the engine behind ``repro lint``.
+
+Five invariants make this repro trustworthy — explicit seeding,
+clock-free deterministic paths, pure process-boundary values, honest
+metric names, and unit-suffixed quantities — and none of them is
+checkable by ruff or mypy.  This package checks them: a plugin rule
+protocol, an AST runner with content-hash result caching, a baseline
+mechanism for grandfathering, and both human and JSON reporting.  See
+README's "Static analysis" section for the workflow and DESIGN.md for
+the module map.
+"""
+
+from repro.analysis.engine import (
+    ANALYSIS_VERSION,
+    Finding,
+    LintEngine,
+    LintReport,
+    Rule,
+    SourceFile,
+    discover_files,
+    load_baseline,
+    rules_fingerprint,
+    write_baseline,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "default_rules",
+    "discover_files",
+    "load_baseline",
+    "rules_fingerprint",
+    "write_baseline",
+]

@@ -1,0 +1,41 @@
+"""The built-in rule registry for ``repro lint``.
+
+Adding a rule is three steps: subclass
+:class:`~repro.analysis.engine.Rule` in a module here, instantiate it in
+:func:`default_rules`, and drop a known-bad fixture under
+``tests/analysis/fixtures/`` so the rule's behavior is pinned.  The
+engine handles everything else (caching, baselining, CLI/CI wiring).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.determinism import (
+    DET002_ALLOWED_MODULES,
+    UnseededRandomness,
+    WallClockRead,
+)
+from repro.analysis.rules.observability import MetricNameIntegrity
+from repro.analysis.rules.purity import ProcessBoundaryPurity
+from repro.analysis.rules.units import UnitSuffixConvention
+
+__all__ = [
+    "DET002_ALLOWED_MODULES",
+    "MetricNameIntegrity",
+    "ProcessBoundaryPurity",
+    "UnitSuffixConvention",
+    "UnseededRandomness",
+    "WallClockRead",
+    "default_rules",
+]
+
+
+def default_rules() -> list:
+    """Return one fresh instance of every built-in rule, id-ordered."""
+    rules = [
+        UnseededRandomness(),
+        WallClockRead(),
+        MetricNameIntegrity(),
+        ProcessBoundaryPurity(),
+        UnitSuffixConvention(),
+    ]
+    return sorted(rules, key=lambda rule: rule.id)

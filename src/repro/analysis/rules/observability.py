@@ -1,0 +1,200 @@
+"""OBS001: metric and span names are well-formed and actually emitted.
+
+The observability layer creates instruments on first access, which is
+ergonomic and dangerous in equal measure: a typo'd name in a reader
+(``metrics.counter("uniloc.quarantine.enterd.gps").value``) silently
+reads a fresh zero counter forever.  This rule closes the loop — every
+literal metric/span name in production code must fit the repo's name
+grammar, and every name that is *read* must be *emitted* somewhere in
+the analyzed tree.  F-string names participate as patterns: each
+``{...}`` placeholder becomes a single-segment wildcard, so the read of
+``uniloc.quarantine.entered.{outage}`` in the chaos matrix matches the
+emit of ``uniloc.quarantine.entered.{name}`` in the framework.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any
+
+from repro.analysis.engine import Finding, Rule, SourceFile
+
+#: Top-level metric namespaces in use across the pipeline.
+NAMESPACES = frozenset({"uniloc", "fleet", "scheme", "repro"})
+
+#: One literal segment of a metric name.
+_SEGMENT = re.compile(r"^[a-z0-9_]+$")
+
+#: The single-segment wildcard an f-string placeholder compiles to.
+WILDCARD = "{}"
+
+#: Registry/tracer factory methods whose first argument is a name.
+_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer", "span"})
+
+#: Method called on a factory's result -> does it write or read?
+_EMIT_ATTRS = frozenset({"inc", "observe", "set", "add"})
+_READ_ATTRS = frozenset(
+    {
+        "value",
+        "values",
+        "summary",
+        "percentile",
+        "mean",
+        "count",
+        "total",
+        "min",
+        "max",
+    }
+)
+
+
+def name_pattern(node: ast.expr) -> str | None:
+    """Compile a literal or f-string name argument into a match pattern.
+
+    ``"uniloc.steps"`` -> ``"uniloc.steps"``;
+    ``f"scheme.{name}.estimate_ms"`` -> ``"scheme.{}.estimate_ms"``;
+    anything non-literal (a plain variable) -> ``None`` (out of scope —
+    the registry's own pass-through helpers take names as variables).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append(WILDCARD)
+        return "".join(parts)
+    return None
+
+
+def grammar_error(pattern: str) -> str | None:
+    """Return why a name pattern violates the grammar, or None if valid."""
+    segments = pattern.split(".")
+    if len(segments) < 2:
+        return "needs at least <namespace>.<name>"
+    if segments[0] not in NAMESPACES:
+        return (
+            f"namespace {segments[0]!r} is not one of "
+            f"{'/'.join(sorted(NAMESPACES))}"
+        )
+    for segment in segments:
+        if segment != WILDCARD and not _SEGMENT.match(segment):
+            return f"segment {segment!r} is not [a-z0-9_]+"
+    return None
+
+
+def patterns_match(a: str, b: str) -> bool:
+    """Return True when two name patterns can denote the same metric."""
+    left, right = a.split("."), b.split(".")
+    if len(left) != len(right):
+        return False
+    return all(
+        x == WILDCARD or y == WILDCARD or x == y
+        for x, y in zip(left, right)
+    )
+
+
+class MetricNameIntegrity(Rule):
+    """OBS001: names fit the grammar; every read name is emitted.
+
+    Per file (src scope): every literal name passed to
+    ``counter/gauge/histogram/timer/span`` must be
+    ``<namespace>.<segment>...`` with a known namespace and
+    ``[a-z0-9_]+`` segments.  Across files: a name whose instrument is
+    only ever *read* (``.value``, ``.summary()``, ...) must match a
+    name that is emitted (``.inc()``, ``.observe()``, a ``timer`` or a
+    ``span``) somewhere, or the reader is watching a counter nothing
+    increments.
+    """
+
+    id = "OBS001"
+    tier = "error"
+    title = "metric/span name integrity"
+    version = 1
+
+    def check(self, file: SourceFile) -> tuple[list[Finding], Any]:
+        if not file.in_src:
+            return [], None
+        findings: list[Finding] = []
+        emitted: list[str] = []
+        read: list[tuple[str, int, int]] = []
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FACTORIES
+                and node.args
+            ):
+                continue
+            pattern = name_pattern(node.args[0])
+            if pattern is None:
+                continue
+            problem = grammar_error(pattern)
+            if problem is not None:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"metric name {pattern!r} breaks the grammar: "
+                        f"{problem}",
+                    )
+                )
+                continue
+            if self._is_read(file, node):
+                read.append((pattern, node.lineno, node.col_offset + 1))
+            else:
+                emitted.append(pattern)
+        facts = {"emitted": sorted(set(emitted)), "read": read}
+        return findings, facts
+
+    @staticmethod
+    def _is_read(file: SourceFile, node: ast.Call) -> bool:
+        """Classify one factory call as a read (vs an emit/creation).
+
+        ``timer``/``span`` always record.  Otherwise the verdict comes
+        from what is done with the returned instrument: ``.inc()`` and
+        friends emit, ``.value`` and friends read, and a bare factory
+        call (instrument handed elsewhere) counts as an emit site —
+        the instrument now exists either way.
+        """
+        assert isinstance(node.func, ast.Attribute)
+        if node.func.attr in ("timer", "span"):
+            return False
+        parent = file.parent_of(node)
+        if isinstance(parent, ast.Attribute):
+            if parent.attr in _READ_ATTRS:
+                return True
+            if parent.attr in _EMIT_ATTRS:
+                return False
+        return False
+
+    def cross_check(self, facts: list[tuple[str, Any]]) -> list[Finding]:
+        emitted = [
+            pattern
+            for _, file_facts in facts
+            for pattern in file_facts.get("emitted", [])
+        ]
+        findings: list[Finding] = []
+        for display, file_facts in facts:
+            for pattern, line, col in file_facts.get("read", []):
+                if any(patterns_match(pattern, emit) for emit in emitted):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        tier=self.tier,
+                        path=display,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"metric {pattern!r} is read here but never "
+                            "emitted anywhere in the analyzed tree; the "
+                            "reader would watch a permanently-zero "
+                            "instrument"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,151 @@
+"""UNIT001: physical quantities carry their unit in the name.
+
+The paper mixes meters (map geometry), degrees (headings), dBm (radio
+power), and seconds (sensor cadence), and the repo's convention is that
+any parameter holding one of them says so: ``spacing_m``, ``radius_m``,
+``heading_deg``, ``rssi_dbm``, ``interval_s``.  A bare ``radius`` in a
+fingerprint query is exactly how a meters-vs-grid-cells bug enters the
+codebase without a type error.  The rule watches the geometry/world/
+radio-adjacent modules, where every bare quantity is a latent unit bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.analysis.engine import Finding, Rule, SourceFile
+
+#: Path fragments of the modules where physical units live.
+_UNIT_MODULES = (
+    "repro/geometry/",
+    "repro/world/",
+    "repro/radio/",
+    "repro/sensors/",
+)
+
+#: Accepted unit suffixes (the paper's quantities and simple derivates).
+UNIT_SUFFIXES = (
+    "_m",
+    "_m2",
+    "_mps",
+    "_deg",
+    "_rad",
+    "_dbm",
+    "_db",
+    "_s",
+    "_ms",
+    "_ns",
+    "_hz",
+)
+
+#: Bare physical-quantity parameter names -> the suggested suffixed name.
+_QUANTITIES = {
+    "spacing": "spacing_m",
+    "radius": "radius_m",
+    "distance": "distance_m",
+    "altitude": "altitude_m",
+    "elevation": "elevation_m",
+    "wavelength": "wavelength_m",
+    "speed": "speed_mps",
+    "velocity": "velocity_mps",
+    "bearing": "bearing_deg",
+    "heading": "heading_deg",
+    "azimuth": "azimuth_deg",
+    "rssi": "rssi_dbm",
+    "power": "power_dbm",
+    "duration": "duration_s",
+    "interval": "interval_s",
+    "timeout": "timeout_s",
+    "latency": "latency_ms",
+    "frequency": "frequency_hz",
+}
+
+
+def _is_numeric(annotation: ast.expr | None, default: ast.expr | None) -> bool:
+    """Return True when a parameter is evidently a number.
+
+    Either the annotation mentions ``float``/``int`` (including inside
+    ``float | None`` unions) or the default is a numeric literal.
+    """
+    if annotation is not None:
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id in ("float", "int"):
+                return True
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and ("float" in node.value or "int" in node.value)
+            ):
+                return True
+    if default is not None:
+        value = default
+        if isinstance(value, ast.UnaryOp):
+            value = value.operand
+        if isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, float)
+        ) and not isinstance(value.value, bool):
+            return True
+    return False
+
+
+class UnitSuffixConvention(Rule):
+    """UNIT001 (warn): numeric quantity parameters name their unit.
+
+    In the geometry/world/radio/sensors modules, a numeric parameter
+    whose name is a bare physical quantity (``spacing``, ``radius``,
+    ``heading``, ...) is flagged with the conventional suffixed
+    spelling.  Warn tier: naming is a convention, not a correctness
+    proof — but the fix is a rename, so there is little excuse.
+    """
+
+    id = "UNIT001"
+    tier = "warn"
+    title = "missing unit suffix on physical quantity"
+    version = 1
+
+    def check(self, file: SourceFile) -> tuple[list[Finding], Any]:
+        if not file.in_src or not any(
+            fragment in file.display for fragment in _UNIT_MODULES
+        ):
+            return [], None
+        findings: list[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            findings.extend(self._check_signature(file, node))
+        return findings, None
+
+    def _check_signature(
+        self, file: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        arguments = node.args
+        positional = arguments.posonlyargs + arguments.args
+        defaults: list[ast.expr | None] = [None] * (
+            len(positional) - len(arguments.defaults)
+        ) + list(arguments.defaults)
+        pairs = list(zip(positional, defaults)) + list(
+            zip(arguments.kwonlyargs, arguments.kw_defaults)
+        )
+        findings: list[Finding] = []
+        for argument, default in pairs:
+            name = argument.arg
+            if name in ("self", "cls"):
+                continue
+            if name.endswith(UNIT_SUFFIXES):
+                continue
+            suggested = _QUANTITIES.get(name)
+            if suggested is None:
+                continue
+            if not _is_numeric(argument.annotation, default):
+                continue
+            findings.append(
+                self.finding(
+                    file,
+                    argument,
+                    f"parameter {name!r} of {node.name}() is a physical "
+                    f"quantity without a unit suffix; rename to "
+                    f"{suggested!r}",
+                )
+            )
+        return findings

@@ -33,6 +33,11 @@ Commands mirror the paper's workflow:
     plus one walk per scheme with that scheme at 100% failure, printing
     whether UniLoc2 still beats the best surviving single scheme (see
     README "Fault injection & resilience").
+``lint [paths] [--rule ID] [--json] [--baseline [FILE]]``
+    Run the repo-specific static-analysis rules (seeding, wall-clock,
+    process-boundary purity, metric-name integrity, unit suffixes)
+    over the tree; exits 1 on any error-tier finding (see README
+    "Static analysis").
 
 ``run PLACE PATH`` also accepts ``--trace PATH`` to export the
 telemetry stream while printing its usual evaluation.  Offline
@@ -418,6 +423,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Where ``repro lint`` looks for a baseline when ``--baseline`` is
+#: given without a path, and where ``--write-baseline`` writes one.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Default per-file result cache (keyed on content + rule versions).
+DEFAULT_LINT_CACHE = ".repro-cache/lint-cache.json"
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules; exit 1 on error-tier findings."""
+    import json
+
+    from repro.analysis import LintEngine, default_rules, load_baseline, write_baseline
+
+    rules = default_rules()
+    if args.rule:
+        wanted = {rule_id.upper() for rule_id in args.rule}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    baseline: frozenset[str] = frozenset()
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    engine = LintEngine(
+        rules=rules,
+        cache_path=None if args.no_cache else args.cache_path,
+        baseline=baseline,
+    )
+    try:
+        report = engine.lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote baseline with {n} fingerprint(s) to {args.write_baseline}"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.n_errors else 0
+
+
 def cmd_tables(_: argparse.Namespace) -> int:
     """Print the modeled Table IV / Table V constants."""
     from repro.energy import response_time, scheme_energy
@@ -555,6 +623,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--cache-dir", help="persistent artifact cache directory")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific static-analysis rules"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files/directories to analyze (default: src tests)",
+    )
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="only run this rule (repeatable, e.g. --rule DET001)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        help=f"suppress findings recorded in FILE (default: {DEFAULT_BASELINE})",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        metavar="FILE",
+        help="record current findings as the baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--cache-path",
+        default=DEFAULT_LINT_CACHE,
+        help=f"per-file result cache (default: {DEFAULT_LINT_CACHE})",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     sub.add_parser("tables", help="print energy/latency tables").set_defaults(
         func=cmd_tables

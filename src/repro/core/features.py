@@ -90,7 +90,7 @@ class FingerprintFeatures(FeatureExtractor):
 
     def extract(self, ctx: FeatureContext) -> dict[str, float]:
         density = self.database.spatial_density_around(
-            ctx.predicted_location, radius=self.density_radius_m
+            ctx.predicted_location, radius_m=self.density_radius_m
         )
         deviation = 0.0
         n_sources = 0.0
@@ -152,7 +152,7 @@ class FusionFeatures(FeatureExtractor):
     def extract(self, ctx: FeatureContext) -> dict[str, float]:
         width = self.place.corridor_width_at(ctx.predicted_location)
         density = self.database.spatial_density_around(
-            ctx.predicted_location, radius=self.density_radius_m
+            ctx.predicted_location, radius_m=self.density_radius_m
         )
         distance = 0.0
         if ctx.output is not None:

@@ -42,7 +42,6 @@ attached metrics registry and annotated on the tracing spans.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +52,7 @@ from repro.core.features import FeatureContext, FeatureExtractor
 from repro.core.hmm import SecondOrderHmm
 from repro.core.iodetector import IODetector
 from repro.geometry import Grid, Point
+from repro.obs.clock import monotonic_s
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NOOP_TRACER
 from repro.schemes.base import LocalizationScheme, SchemeOutput
@@ -467,13 +467,13 @@ class UniLocFramework:
             elapsed_ms = span.duration_ms
             span.annotate(available=output is not None)
         else:
-            start = time.perf_counter() if budget is not None else 0.0
+            start = monotonic_s() if budget is not None else 0.0
             try:
                 output = scheme.estimate(snapshot)
             except Exception:  # noqa: BLE001 — black-box scheme
                 return None, "exception"
             elapsed_ms = (
-                (time.perf_counter() - start) * 1e3 if budget is not None else 0.0
+                (monotonic_s() - start) * 1e3 if budget is not None else 0.0
             )
         if budget is not None and elapsed_ms > budget:
             return None, "timeout"

@@ -19,6 +19,8 @@ lazily because it imports the fleet/eval layers, which themselves
 import this package.
 """
 
+from typing import Any
+
 from repro.faults.injectors import (
     GARBAGE_RADIUS_M,
     FaultyScheme,
@@ -48,7 +50,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # chaos imports eval/fleet, which import faults; resolve on demand.
     if name in ("chaos_matrix", "OutageRow"):
         from repro.faults import chaos

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
@@ -80,7 +81,9 @@ class OutageRow:
         )
 
 
-def _best_surviving(result, scheme_names, outage: str) -> tuple[str, float]:
+def _best_surviving(
+    result: Any, scheme_names: Sequence[str], outage: str
+) -> tuple[str, float]:
     """Find the lowest-mean-error scheme among the survivors."""
     best_name, best_mean = "", math.inf
     for name in scheme_names:
@@ -96,10 +99,10 @@ def _best_surviving(result, scheme_names, outage: str) -> tuple[str, float]:
 
 
 def _row(
-    result,
+    result: Any,
     outage: str,
     kind: str,
-    scheme_names,
+    scheme_names: Sequence[str],
     metrics: MetricsRegistry,
 ) -> OutageRow:
     """Score one completed walk into an :class:`OutageRow`."""

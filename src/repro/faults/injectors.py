@@ -19,6 +19,7 @@ Both surfaces are deterministic given the plan (see
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 import numpy as np
 
@@ -102,7 +103,9 @@ class FaultyScheme(LocalizationScheme):
 # ---------------------------------------------------------------------------
 
 
-def _stale_gps(snapshots: list[SensorSnapshot], fault: SensorFault):
+def _stale_gps(
+    snapshots: list[SensorSnapshot], fault: SensorFault
+) -> list[SensorSnapshot]:
     """Hold the last pre-window fix through the window (a frozen chip)."""
     held: GpsStatus | None = None
     out: list[SensorSnapshot] = []
@@ -118,21 +121,27 @@ def _stale_gps(snapshots: list[SensorSnapshot], fault: SensorFault):
     return out
 
 
-def _radio_blackout(snapshots: list[SensorSnapshot], fault: SensorFault):
+def _radio_blackout(
+    snapshots: list[SensorSnapshot], fault: SensorFault
+) -> list[SensorSnapshot]:
     return [
         snap.with_radio_blackout() if fault.in_window(step) else snap
         for step, snap in enumerate(snapshots)
     ]
 
 
-def _imu_dropout(snapshots: list[SensorSnapshot], fault: SensorFault):
+def _imu_dropout(
+    snapshots: list[SensorSnapshot], fault: SensorFault
+) -> list[SensorSnapshot]:
     return [
         snap.with_imu(snap.imu.without_steps()) if fault.in_window(step) else snap
         for step, snap in enumerate(snapshots)
     ]
 
 
-_SENSOR_CORRUPTORS = {
+_SENSOR_CORRUPTORS: dict[
+    str, Callable[[list[SensorSnapshot], SensorFault], list[SensorSnapshot]]
+] = {
     "stale_gps": _stale_gps,
     "radio_blackout": _radio_blackout,
     "imu_dropout": _imu_dropout,

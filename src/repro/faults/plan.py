@@ -25,8 +25,13 @@ The plan is *applied* by :mod:`repro.faults.injectors`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.framework import UniLocFramework
+    from repro.sensors import SensorSnapshot
 
 #: What an injected scheme fault does to one ``estimate()`` call.
 #:
@@ -181,7 +186,7 @@ class FaultPlan:
         rng = np.random.default_rng((self.seed, fault_index, step))
         return bool(rng.random() < fault.probability)
 
-    def apply(self, framework) -> None:
+    def apply(self, framework: UniLocFramework) -> None:
         """Wrap the framework's afflicted schemes in fault injectors.
 
         Mutates ``framework.bundles`` in place; scheme code is never
@@ -204,7 +209,7 @@ class FaultPlan:
             if faults:
                 bundle.scheme = FaultyScheme(bundle.scheme, self, faults)
 
-    def corrupt(self, snapshots):
+    def corrupt(self, snapshots: list[SensorSnapshot]) -> list[SensorSnapshot]:
         """Return the snapshot trace with all sensor faults applied."""
         from repro.faults.injectors import corrupt_snapshots
 

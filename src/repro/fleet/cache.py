@@ -32,12 +32,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.obs.tracing import NOOP_TRACER
+from repro.obs.clock import now_s
+from repro.obs.tracing import NOOP_TRACER, TracerLike
 
 if TYPE_CHECKING:
     from repro.core import ErrorModelSet
@@ -127,12 +127,20 @@ class CacheEntry:
     size_bytes: int
     mtime: float
 
-    def describe(self) -> str:
+    def age_s(self, now: float | None = None) -> float:
+        """Return the entry's age in seconds (never negative).
+
+        ``now`` defaults to the injectable process clock
+        (:func:`repro.obs.clock.now_s`), so tests can pin the age
+        exactly instead of racing the real wall clock.
+        """
+        return max(0.0, (now if now is not None else now_s()) - self.mtime)
+
+    def describe(self, now: float | None = None) -> str:
         """Return one human-readable listing line."""
-        age_s = max(0.0, time.time() - self.mtime)
         return (
             f"{self.artifact:14s} {self.key:40s} "
-            f"{self.size_bytes / 1024:8.1f} KiB  {age_s / 60:6.1f} min old"
+            f"{self.size_bytes / 1024:8.1f} KiB  {self.age_s(now) / 60:6.1f} min old"
         )
 
 
@@ -152,7 +160,7 @@ class ArtifactCache:
     def __init__(
         self,
         root: str | Path | None = None,
-        tracer: object = NOOP_TRACER,
+        tracer: TracerLike = NOOP_TRACER,
         metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.root = Path(root) if root is not None else None

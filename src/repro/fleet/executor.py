@@ -43,14 +43,17 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
 from repro.fleet.cache import ArtifactCache, default_cache
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import NOOP_TRACER
+from repro.obs.tracing import NOOP_TRACER, TracerLike
 from repro.sensors import NEXUS_5X, DeviceProfile
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 #: How many times a job whose worker died is re-queued before it is
 #: surfaced as a :class:`WalkFailure` (the ISSUE contract: once).
@@ -108,7 +111,7 @@ class WalkJob:
     start_noise_m: float = 0.0
     compact: bool = True
     gps_duty_cycling: bool = True
-    fault_plan: Any = None
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -293,7 +296,7 @@ def iter_walks(
     workers: int = 1,
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
-    tracer: object = NOOP_TRACER,
+    tracer: TracerLike = NOOP_TRACER,
 ) -> Iterator[tuple[int, Any]]:
     """Execute jobs and yield ``(job_index, result)`` as walks finish.
 
@@ -414,7 +417,7 @@ def run_walks(
     workers: int = 1,
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
-    tracer: object = NOOP_TRACER,
+    tracer: TracerLike = NOOP_TRACER,
     on_failure: str = "raise",
 ) -> list[Any]:
     """Execute jobs (optionally in parallel) and return results in job order.

@@ -7,6 +7,7 @@ costs one attribute lookup.  See README's "Observability" section for
 the JSONL trace schema and CLI workflow.
 """
 
+from repro.obs import clock
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,13 +31,14 @@ from repro.obs.trace_log import (
     iter_trace,
     read_trace,
 )
-from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer
+from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer, TracerLike
 
 __all__ = [
     "NOOP_TRACER",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "Counter",
+    "clock",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -47,6 +49,7 @@ __all__ = [
     "TraceSummary",
     "TraceWriter",
     "Tracer",
+    "TracerLike",
     "decision_from_dict",
     "decision_to_dict",
     "iter_trace",

@@ -27,7 +27,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Protocol
+
+
+class TracerLike(Protocol):
+    """The structural type of anything accepted as a ``tracer=``.
+
+    Both :class:`Tracer` and :class:`NoopTracer` satisfy it; so can any
+    test double with an ``enabled`` flag and a ``span`` context-manager
+    factory.  Instrumented code should annotate against this protocol
+    instead of ``object`` so mypy can check span usage.
+    """
+
+    enabled: bool
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Open a (possibly no-op) span context manager."""
+        ...
 
 
 @dataclass

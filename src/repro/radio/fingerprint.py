@@ -72,7 +72,7 @@ class FingerprintDatabase:
             acc += diff * diff
         return math.sqrt(acc)
 
-    def nearest(self, rssi: dict[str, float], k: int = 3) -> list[tuple[Fingerprint, float]]:
+    def nearest(self, rssi_dbm: dict[str, float], k: int = 3) -> list[tuple[Fingerprint, float]]:
         """Return the ``k`` entries with the smallest RSSI distance.
 
         Raises:
@@ -81,27 +81,27 @@ class FingerprintDatabase:
         if k <= 0:
             raise ValueError("k must be positive")
         scored = [
-            (entry, self.rssi_distance(rssi, entry.rssi)) for entry in self.entries
+            (entry, self.rssi_distance(rssi_dbm, entry.rssi)) for entry in self.entries
         ]
         scored.sort(key=lambda pair: pair[1])
         return scored[:k]
 
-    def spatial_density_around(self, point: Point, radius: float = 15.0) -> float:
+    def spatial_density_around(self, point: Point, radius_m: float = 15.0) -> float:
         """Return the average inter-fingerprint distance near ``point``.
 
         This is the paper's beta_1 feature: large values mean a sparse
         survey and therefore likely-high fingerprinting error.  The value
         is the mean nearest-neighbor distance among fingerprints within
-        ``radius`` of the query; if fewer than two fingerprints are in
+        ``radius_m`` of the query; if fewer than two fingerprints are in
         range the distance from the query to its nearest fingerprint is
         used instead (an even stronger sparsity signal).
         """
         nearby = [
-            e for e in self.entries if e.position.distance_to(point) <= radius
+            e for e in self.entries if e.position.distance_to(point) <= radius_m
         ]
         if len(nearby) < 2:
             best = min(e.position.distance_to(point) for e in self.entries)
-            return max(best, radius)
+            return max(best, radius_m)
         acc = 0.0
         for entry in nearby:
             others = (
@@ -112,35 +112,35 @@ class FingerprintDatabase:
             acc += min(others)
         return acc / len(nearby)
 
-    def candidate_deviation(self, rssi: dict[str, float], k: int = 3) -> float:
+    def candidate_deviation(self, rssi_dbm: dict[str, float], k: int = 3) -> float:
         """Return the beta_2 feature: std-dev of the top-k RSSI distances.
 
         A *small* deviation means the best candidates are nearly
         indistinguishable, so the chosen one is likely wrong — the paper
         accordingly learns a negative coefficient for this feature.
         """
-        top = self.nearest(rssi, k=k)
+        top = self.nearest(rssi_dbm, k=k)
         distances = np.array([d for _, d in top if math.isfinite(d)])
         if distances.size < 2:
             return 0.0
         return float(np.std(distances))
 
-    def downsample(self, spacing: float) -> "FingerprintDatabase":
-        """Thin the survey to approximately ``spacing`` meters between entries.
+    def downsample(self, spacing_m: float) -> "FingerprintDatabase":
+        """Thin the survey to approximately ``spacing_m`` meters between entries.
 
         Greedy min-distance thinning in survey order — the same operation
         the paper performs to study the effect of coarser fingerprint
         grids (5 m, 10 m, 15 m).
 
         Raises:
-            ValueError: if ``spacing`` is not positive.
+            ValueError: if ``spacing_m`` is not positive.
         """
-        if spacing <= 0.0:
+        if spacing_m <= 0.0:
             raise ValueError("spacing must be positive")
         kept: list[Fingerprint] = []
         for entry in self.entries:
             if all(
-                entry.position.distance_to(other.position) >= spacing
+                entry.position.distance_to(other.position) >= spacing_m
                 for other in kept
             ):
                 kept.append(entry)

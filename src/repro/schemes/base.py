@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import abc
 import math
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.geometry import Grid, Point
+from repro.obs.clock import monotonic_s
 from repro.obs.metrics import Histogram
 from repro.sensors import SensorSnapshot
 
@@ -168,9 +168,9 @@ class TimedScheme(LocalizationScheme):
         self.n_available = 0
 
     def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
-        start = time.perf_counter()
+        start = monotonic_s()
         output = self.inner.estimate(snapshot)
-        self.latency_ms.observe((time.perf_counter() - start) * 1e3)
+        self.latency_ms.observe((monotonic_s() - start) * 1e3)
         if output is not None:
             self.n_available += 1
         return output

@@ -89,10 +89,10 @@ class Place:
             raise ValueError(f"path {path.name!r} already registered")
         self.paths[path.name] = path
 
-    def environment_segments(self, path: Path, spacing: float = 1.0) -> list[tuple[float, EnvironmentType]]:
+    def environment_segments(self, path: Path, spacing_m: float = 1.0) -> list[tuple[float, EnvironmentType]]:
         """Return ``(arc_length, environment)`` breakpoints along a path.
 
-        Walks the path at ``spacing`` resolution and records each point at
+        Walks the path at ``spacing_m`` resolution and records each point at
         which the environment label changes.  Used by experiment reports to
         annotate error-vs-distance plots the way the paper's Fig. 2 labels
         its office / corridor / basement / car-park / open-space segments.
@@ -106,5 +106,5 @@ class Place:
             if env != last_env:
                 breakpoints.append((s, env))
                 last_env = env
-            s += spacing
+            s += spacing_m
         return breakpoints

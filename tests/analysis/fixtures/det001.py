@@ -1,0 +1,19 @@
+"""Known-bad fixture for DET001: every call here violates seeding."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded():
+    return default_rng()
+
+
+def global_state(n):
+    return np.random.normal(size=n)
+
+
+def stdlib(seq):
+    random.shuffle(seq)
+    return random.random()

@@ -1,0 +1,13 @@
+"""Counter-fixture for DET001: all of this is properly seeded."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded(seed):
+    rng = default_rng(seed)
+    return rng.normal()
+
+
+def seeded_tuple(seed, step):
+    return np.random.default_rng((seed, step)).random()

@@ -1,0 +1,16 @@
+"""Known-bad fixture for DET002: raw clock reads in a src-scope file."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def when():
+    return datetime.now()
+
+
+def hand_out_the_clock():
+    return time.perf_counter

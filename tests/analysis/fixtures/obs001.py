@@ -1,0 +1,14 @@
+"""Known-bad fixture for OBS001: grammar breaks and an orphaned read."""
+
+
+def emit(metrics):
+    metrics.counter("uniloc.good_counter").inc()
+    metrics.counter("Uniloc.bad_namespace").inc()
+    metrics.counter("uniloc.Bad-Segment").inc()
+
+
+def read(metrics, name):
+    fine = metrics.counter("uniloc.good_counter").value
+    orphan = metrics.counter("uniloc.never_emitted").value
+    dynamic = metrics.counter(name).value  # non-literal: out of scope
+    return fine + orphan + dynamic

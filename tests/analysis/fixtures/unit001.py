@@ -1,0 +1,9 @@
+"""Known-bad fixture for UNIT001 (linted as if under repro/geometry/)."""
+
+
+def sample(spacing: float, count: int = 3) -> float:
+    return spacing * count
+
+
+def query(point, radius=15.0, radius_m: float = 1.0):
+    return point, radius, radius_m

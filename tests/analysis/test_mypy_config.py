@@ -1,0 +1,32 @@
+"""The strict-typing gate for the determinism-critical packages.
+
+mypy is a dev-only dependency (``pip install -e .[dev]``); when it is
+absent — minimal containers ship without it — the test skips rather
+than fails, and the CI lint job provides the enforced run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy is a dev-only extra")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The packages pyproject holds to strict (fully annotated) signatures.
+STRICT_TARGETS = [
+    "src/repro/fleet",
+    "src/repro/faults",
+    "src/repro/formats.py",
+]
+
+
+def test_strict_packages_typecheck_clean():
+    stdout, stderr, code = mypy_api.run(
+        [
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            *[str(REPO_ROOT / target) for target in STRICT_TARGETS],
+        ]
+    )
+    assert code == 0, f"mypy found problems:\n{stdout}\n{stderr}"

@@ -1,0 +1,152 @@
+"""Each rule is pinned by a known-bad fixture it must flag.
+
+The fixtures live under ``tests/analysis/fixtures/`` — a directory name
+the engine's discovery deliberately skips, so the whole-tree gate stays
+clean while the snippets stay on disk as real parseable files.  Tests
+feed them through :meth:`LintEngine.lint_text` with a forced ``src``
+display path, because most rules only police production scope.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name: str, display: str):
+    """Lint one fixture file as if it lived at ``display``."""
+    engine = LintEngine(cache_path=None)
+    return engine.lint_text((FIXTURES / name).read_text(), display=display)
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDET001:
+    def test_flags_every_unseeded_shape(self):
+        findings = lint_fixture("det001.py", "src/repro/fixture.py")
+        assert rules_of(findings) == ["DET001"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "default_rng() without a seed" in messages
+        assert "numpy.random.normal" in messages
+        assert "random.shuffle" in messages
+        assert "random.random" in messages
+
+    def test_unseeded_default_rng_flagged_even_in_tests(self):
+        findings = lint_fixture("det001.py", "tests/test_fixture.py")
+        assert rules_of(findings) == ["DET001"]
+        assert "default_rng() without a seed" in findings[0].message
+
+    def test_seeded_code_is_clean(self):
+        assert lint_fixture("det001_good.py", "src/repro/fixture.py") == []
+
+
+class TestDET002:
+    def test_flags_calls_and_references(self):
+        findings = lint_fixture("det002.py", "src/repro/fixture.py")
+        assert rules_of(findings) == ["DET002"] * 3
+        messages = " | ".join(f.message for f in findings)
+        assert "time.time called" in messages
+        assert "datetime.datetime.now called" in messages
+        assert "time.perf_counter referenced" in messages
+
+    def test_tests_may_read_the_clock(self):
+        assert lint_fixture("det002.py", "tests/test_fixture.py") == []
+
+    def test_obs_timer_modules_are_allowlisted(self):
+        text = (FIXTURES / "det002.py").read_text()
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/obs/clock.py") == []
+
+
+class TestPUR001:
+    def test_flags_every_impurity(self):
+        findings = lint_fixture("pur001.py", "src/repro/fleet/fixture.py")
+        # tags draws two findings: mutable annotation AND default_factory.
+        assert rules_of(findings) == ["PUR001"] * 6
+        messages = " | ".join(f.message for f in findings)
+        assert "not frozen=True" in messages
+        assert "typed as mutable list" in messages
+        assert "default_factory=list" in messages
+        assert "defaults to a lambda" in messages
+        assert "threading.Lock()" in messages
+        assert "lambda passed into run_walks()" in messages
+
+    def test_dataclass_rules_only_bind_in_boundary_packages(self):
+        findings = lint_fixture("pur001.py", "src/repro/eval/fixture.py")
+        # Outside fleet/faults only the executor-call check applies.
+        assert rules_of(findings) == ["PUR001"]
+        assert "lambda passed into run_walks()" in findings[0].message
+
+
+class TestOBS001:
+    def test_flags_grammar_breaks_and_orphaned_read(self):
+        findings = lint_fixture("obs001.py", "src/repro/fixture.py")
+        assert rules_of(findings) == ["OBS001"] * 3
+        messages = " | ".join(f.message for f in findings)
+        assert "'Uniloc.bad_namespace'" in messages
+        assert "'uniloc.Bad-Segment'" in messages
+        assert "'uniloc.never_emitted' is read here but never" in messages
+
+    def test_tests_may_use_adhoc_names(self):
+        assert lint_fixture("obs001.py", "tests/test_fixture.py") == []
+
+    def test_fstring_read_matches_fstring_emit(self):
+        text = (
+            "def a(m, name):\n"
+            '    m.counter(f"uniloc.quarantine.entered.{name}").inc()\n'
+            "def b(m, outage):\n"
+            '    return m.counter(f"uniloc.quarantine.entered.{outage}").value\n'
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+
+class TestUNIT001:
+    def test_flags_bare_quantities_only(self):
+        findings = lint_fixture("unit001.py", "src/repro/geometry/fixture.py")
+        assert rules_of(findings) == ["UNIT001"] * 2
+        assert all(f.tier == "warn" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "'spacing'" in messages and "'spacing_m'" in messages
+        assert "'radius'" in messages and "'radius_m'" in messages
+
+    def test_only_unit_modules_are_watched(self):
+        assert lint_fixture("unit001.py", "src/repro/eval/fixture.py") == []
+
+
+def test_every_rule_has_a_fixture():
+    """Adding a rule without pinning its behavior is a lint-on-lint bug."""
+    from repro.analysis import default_rules
+
+    fixture_stems = {path.stem for path in FIXTURES.glob("*.py")}
+    for rule in default_rules():
+        assert rule.id.lower() in fixture_stems, (
+            f"rule {rule.id} has no tests/analysis/fixtures/"
+            f"{rule.id.lower()}.py fixture"
+        )
+
+
+def test_fixtures_parse():
+    import ast
+
+    for path in FIXTURES.glob("*.py"):
+        ast.parse(path.read_text())
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [("uniloc.steps", None), ("uniloc", "needs at least"), ("nope.x", "namespace")],
+)
+def test_grammar_error_shapes(name, expected):
+    from repro.analysis.rules.observability import grammar_error
+
+    problem = grammar_error(name)
+    if expected is None:
+        assert problem is None
+    else:
+        assert expected in problem

@@ -112,6 +112,29 @@ def test_entry_describe_mentions_artifact_and_size(tmp_path, models):
     assert "KiB" in line
 
 
+def test_entry_age_is_deterministic_under_frozen_clock(tmp_path, models):
+    from repro.obs import clock
+
+    cache = ArtifactCache(tmp_path)
+    cache.put_error_models(models, 0)
+    entry = cache.entries()[0]
+    # Explicit `now` pins the age exactly...
+    assert entry.age_s(now=entry.mtime + 120.0) == 120.0
+    assert "2.0 min old" in entry.describe(now=entry.mtime + 120.0)
+    # ...and so does freezing the process clock (the DET002 fix: the
+    # entry reads repro.obs.clock, never time.time directly).
+    with clock.override(wall=entry.mtime + 600.0):
+        assert entry.age_s() == 600.0
+        assert "10.0 min old" in entry.describe()
+
+
+def test_entry_age_never_negative(tmp_path, models):
+    cache = ArtifactCache(tmp_path)
+    cache.put_error_models(models, 0)
+    entry = cache.entries()[0]
+    assert entry.age_s(now=entry.mtime - 3600.0) == 0.0
+
+
 def test_metrics_count_hits_and_misses(tmp_path):
     from repro.obs import MetricsRegistry
 

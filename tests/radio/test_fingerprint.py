@@ -70,10 +70,10 @@ class TestNearest:
 class TestDensity:
     def test_dense_region(self, db):
         # Neighbors are 10 m apart.
-        assert db.spatial_density_around(Point(10, 0), radius=15.0) == pytest.approx(10.0)
+        assert db.spatial_density_around(Point(10, 0), radius_m=15.0) == pytest.approx(10.0)
 
     def test_sparse_region_reports_at_least_radius(self, db):
-        value = db.spatial_density_around(Point(200, 0), radius=15.0)
+        value = db.spatial_density_around(Point(200, 0), radius_m=15.0)
         assert value >= 15.0
 
     def test_deviation_zero_for_single_candidate(self):

@@ -26,7 +26,7 @@ class TestDailyPath:
 
     def test_environment_sequence(self, place):
         """Office -> corridor -> basement -> car park -> open space."""
-        breakpoints = place.environment_segments(place.paths["path1"], spacing=1.0)
+        breakpoints = place.environment_segments(place.paths["path1"], spacing_m=1.0)
         sequence = [env for _, env in breakpoints]
         assert sequence == [
             Env.OFFICE,

@@ -59,6 +59,6 @@ def test_duplicate_path_rejected(place):
 def test_environment_segments_reports_transitions(place):
     path = Path("walk", Polyline.from_coords([(2, 5), (25, 5)]))
     place.add_path(path)
-    breakpoints = place.environment_segments(path, spacing=0.5)
+    breakpoints = place.environment_segments(path, spacing_m=0.5)
     envs = [env for _, env in breakpoints]
     assert envs == [Env.OFFICE, Env.CORRIDOR, Env.OPEN_SPACE]
