@@ -9,7 +9,7 @@ complement each other (different winners at different locations).
 import numpy as np
 
 from conftest import fmt, print_table
-from repro.eval.experiments import fig2_motivation
+from repro.eval.registry import run_experiment
 from repro.world import EnvironmentType as Env
 
 SEGMENTS = [Env.OFFICE, Env.CORRIDOR, Env.BASEMENT, Env.CAR_PARK, Env.OPEN_SPACE]
@@ -27,7 +27,7 @@ def _segment_means(rows):
 
 
 def test_fig2_motivation(benchmark):
-    rows = fig2_motivation()
+    rows = run_experiment("fig2")
     means = _segment_means(rows)
     print_table(
         "Fig. 2: per-segment mean error (m) of the five schemes",
@@ -65,4 +65,4 @@ def test_fig2_motivation(benchmark):
     assert len(winners) >= 3
 
     # Benchmark: one full five-scheme sweep of the recorded path.
-    benchmark(fig2_motivation)
+    benchmark(run_experiment, "fig2")

@@ -10,13 +10,13 @@ explodes on long outdoor stretches) and well below RADAR's.
 import numpy as np
 
 from conftest import fmt, print_table
-from repro.eval.experiments import fig7_eight_paths
 from repro.eval.metrics import percentile
+from repro.eval.registry import run_experiment
 from repro.eval.setup import SCHEME_NAMES
 
 
 def test_fig7_eight_paths(benchmark):
-    result = fig7_eight_paths()
+    result = run_experiment("fig7")
     stats = {}
     for est in list(SCHEME_NAMES) + ["uniloc1", "uniloc2"]:
         errors = result.errors(est)

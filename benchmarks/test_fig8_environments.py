@@ -12,9 +12,16 @@ import numpy as np
 import pytest
 
 from conftest import fmt, print_table
-from repro.eval.experiments import fig8_environment
 from repro.eval.metrics import percentile
+from repro.eval.registry import run_experiment
 from repro.eval.setup import SCHEME_NAMES
+
+#: Registry experiment name for each Fig. 8 place.
+EXPERIMENT_BY_PLACE = {
+    "mall": "fig8a",
+    "urban-open-space": "fig8b",
+    "office": "fig8c",
+}
 
 
 def _stats(result):
@@ -32,7 +39,7 @@ def _stats(result):
 
 @pytest.mark.parametrize("place_name", ["mall", "urban-open-space", "office"])
 def test_fig8_environment(place_name, benchmark):
-    result = fig8_environment(place_name)
+    result = run_experiment(EXPERIMENT_BY_PLACE[place_name])
     stats = _stats(result)
     print_table(
         f"Fig. 8 ({place_name}): error statistics over 10 trajectories (m)",
@@ -58,9 +65,9 @@ def test_fig8_environment(place_name, benchmark):
 
 
 def test_fig8_office_beats_outdoor_and_mall_cellular_suffers(benchmark):
-    office = _stats(fig8_environment("office"))
-    outdoor = _stats(fig8_environment("urban-open-space"))
-    mall = _stats(fig8_environment("mall"))
+    office = _stats(run_experiment("fig8c"))
+    outdoor = _stats(run_experiment("fig8b"))
+    mall = _stats(run_experiment("fig8a"))
 
     # Office accuracy beats the urban open space for the ensemble (paper:
     # all systems do better in the office than outdoors).
@@ -71,4 +78,4 @@ def test_fig8_office_beats_outdoor_and_mall_cellular_suffers(benchmark):
     if "cellular" in mall:
         assert mall["cellular"][0] > 3.0 * mall["uniloc2"][0]
 
-    benchmark(lambda: _stats(fig8_environment("office")))
+    benchmark(lambda: _stats(run_experiment("fig8c")))

@@ -10,12 +10,12 @@ Wi-Fi scheme (RADAR) itself.
 import numpy as np
 
 from conftest import fmt, print_table
-from repro.eval.experiments import fig8d_heterogeneity
 from repro.eval.metrics import percentile
+from repro.eval.registry import run_experiment
 
 
 def test_fig8d_heterogeneity(benchmark):
-    results = fig8d_heterogeneity()
+    results = run_experiment("fig8d")
     rows = []
     stats = {}
     for label, result in results.items():

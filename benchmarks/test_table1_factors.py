@@ -7,11 +7,11 @@ GPS needs no online factors.
 """
 
 from conftest import print_table
-from repro.eval.experiments import table1_influence_factors
+from repro.eval.registry import run_experiment
 
 
 def test_table1_influence_factors(benchmark):
-    table = benchmark(table1_influence_factors)
+    table = benchmark(run_experiment, "table1")
     print_table(
         "Table I: influence factors per scheme",
         ["scheme", "indoor factors", "outdoor factors"],

@@ -10,11 +10,12 @@ distance-since-landmark and corridor width).
 """
 
 from conftest import fmt, print_table
-from repro.eval.experiments import shared_models, table2_error_models
+from repro.eval.experiments import shared_models
+from repro.eval.registry import run_experiment
 
 
 def test_table2_error_models(benchmark):
-    table = table2_error_models()
+    table = run_experiment("table2")
     rows = []
     for scheme, contexts in table.items():
         for context, s in contexts.items():

@@ -9,12 +9,12 @@ preserving the *relative* ranking UniLoc needs.
 import numpy as np
 
 from conftest import fmt, print_table
-from repro.eval.experiments import table3_prediction_rmse
+from repro.eval.registry import run_experiment
 from repro.eval.setup import SCHEME_NAMES
 
 
 def test_table3_prediction_rmse(benchmark):
-    table = table3_prediction_rmse()
+    table = run_experiment("table3")
     rows = []
     for condition, per_scheme in table.items():
         for scheme in SCHEME_NAMES:
@@ -45,4 +45,4 @@ def test_table3_prediction_rmse(benchmark):
     assert hard < 3.0
     assert hard > base * 0.4
 
-    benchmark.pedantic(lambda: table3_prediction_rmse(), rounds=1, iterations=1)
+    benchmark.pedantic(lambda: run_experiment("table3"), rounds=1, iterations=1)

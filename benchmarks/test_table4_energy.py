@@ -8,11 +8,12 @@ energy by >= ~2x; transmissions add little energy.
 
 from conftest import fmt, print_table
 from repro.energy import gps_saving_factor
-from repro.eval.experiments import daily_path_result, table4_energy
+from repro.eval.experiments import daily_path_result
+from repro.eval.registry import run_experiment
 
 
 def test_table4_energy(benchmark):
-    reports = benchmark(table4_energy)
+    reports = benchmark(run_experiment, "table4")
     print_table(
         "Table IV: power and energy over the daily path",
         ["system", "power (mW)", "time (s)", "tx (J)", "energy (J)"],

@@ -1,0 +1,40 @@
+"""Microbenchmarks: kernel hot paths timed against scalar baselines.
+
+The kernel layer (:mod:`repro.radio.kernels`) exists for speed, and
+speed claims rot silently.  This package keeps them honest:
+
+* :mod:`repro.bench.baselines` — verbatim pre-kernel scalar
+  implementations of the radio hot paths (the golden references).
+* :mod:`repro.bench.runner` — times kernels against those baselines on
+  real place data and writes a schema-versioned ``BENCH_<date>.json``
+  report; ``repro bench compare`` diffs two reports with a regression
+  threshold.
+
+Comparisons across machines use the *speedup* ratios (kernel vs scalar
+on the same box), which are machine-independent; absolute ``p50``
+timings are only comparable within one host.
+"""
+
+from repro.bench.runner import (
+    BENCH_FORMAT,
+    BENCH_VERSION,
+    BenchReport,
+    Timing,
+    compare_reports,
+    default_bench_filename,
+    load_report,
+    run_benches,
+    time_callable,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_VERSION",
+    "BenchReport",
+    "Timing",
+    "compare_reports",
+    "default_bench_filename",
+    "load_report",
+    "run_benches",
+    "time_callable",
+]

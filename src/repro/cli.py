@@ -38,6 +38,12 @@ Commands mirror the paper's workflow:
     process-boundary purity, metric-name integrity, unit suffixes)
     over the tree; exits 1 on any error-tier finding (see README
     "Static analysis").
+``bench run|compare``
+    ``bench run`` times the radio kernels against their scalar
+    baselines on one place and writes a versioned ``BENCH_<date>.json``
+    report; ``bench compare BASELINE CURRENT`` diffs two reports and
+    exits 1 when a speedup regressed past the threshold (see README
+    "Performance").
 
 ``run PLACE PATH`` also accepts ``--trace PATH`` to export the
 telemetry stream while printing its usual evaluation.  Offline
@@ -486,6 +492,64 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.n_errors else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the kernel microbenches, or compare two BENCH reports."""
+    from repro.bench import compare_reports, load_report, run_benches
+    from repro.bench.runner import default_bench_filename
+    from repro.formats import UnsupportedFormatError
+
+    if args.bench_command == "run":
+        report = run_benches(
+            place_name=args.place,
+            seed=args.seed,
+            repeats=args.repeats,
+            include_walk_step=not args.no_walk_step,
+            cache=_cache(args),
+        )
+        print(report.render())
+        out = args.out or default_bench_filename(report.created_at)
+        report.save(out)
+        print(f"\nwrote {out}")
+        return 0
+    if args.bench_command == "compare":
+        try:
+            baseline = load_report(args.baseline)
+            current = load_report(args.current)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read bench report: {exc}", file=sys.stderr)
+            return 2
+        try:
+            regressions = compare_reports(
+                baseline, current, threshold=args.threshold, metric=args.metric
+            )
+        except UnsupportedFormatError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"baseline: {args.baseline} (place={baseline.place}, "
+            f"seed={baseline.seed})"
+        )
+        print(
+            f"current:  {args.current} (place={current.place}, "
+            f"seed={current.seed})"
+        )
+        base_speedups, cur_speedups = baseline.speedups(), current.speedups()
+        for bench in sorted(base_speedups.keys() | cur_speedups.keys()):
+            print(
+                f"  {bench:28s} baseline "
+                f"{base_speedups.get(bench, float('nan')):8.1f}x   current "
+                f"{cur_speedups.get(bench, float('nan')):8.1f}x"
+            )
+        if regressions:
+            print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions (threshold {args.threshold:.0%}, {args.metric})")
+        return 0
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
 def cmd_tables(_: argparse.Namespace) -> int:
     """Print the modeled Table IV / Table V constants."""
     from repro.energy import response_time, scheme_energy
@@ -664,6 +728,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_bench = sub.add_parser(
+        "bench", help="run or compare the kernel microbenchmarks"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="time kernels vs scalar baselines, write BENCH_<date>.json"
+    )
+    p_bench_run.add_argument(
+        "--place", default="office", help="place to bench on (default: office)"
+    )
+    p_bench_run.add_argument(
+        "--repeats", type=int, default=20, help="iterations per bench"
+    )
+    p_bench_run.add_argument(
+        "--out", help="report path (default: BENCH_<date>.json)"
+    )
+    p_bench_run.add_argument(
+        "--no-walk-step",
+        action="store_true",
+        help="skip the end-to-end walk-step bench (no model training)",
+    )
+    p_bench_run.add_argument(
+        "--cache-dir", help="persistent artifact cache directory"
+    )
+    p_bench_run.set_defaults(func=cmd_bench)
+    p_bench_cmp = bench_sub.add_parser(
+        "compare", help="diff two BENCH reports; exit 1 on regression"
+    )
+    p_bench_cmp.add_argument("baseline", help="baseline BENCH_*.json")
+    p_bench_cmp.add_argument("current", help="current BENCH_*.json")
+    p_bench_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional drop that counts as a regression (default: 0.25)",
+    )
+    p_bench_cmp.add_argument(
+        "--metric",
+        choices=["speedup", "p50"],
+        default="speedup",
+        help="speedup ratios (machine-independent) or raw p50 (same host)",
+    )
+    p_bench_cmp.set_defaults(func=cmd_bench)
 
     sub.add_parser("tables", help="print energy/latency tables").set_defaults(
         func=cmd_tables

@@ -55,7 +55,7 @@ from repro.geometry import Grid, Point
 from repro.obs.clock import monotonic_s
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NOOP_TRACER
-from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.schemes.base import Scheme, SchemeOutput
 from repro.sensors import SensorSnapshot
 from repro.world import Place
 
@@ -64,7 +64,7 @@ from repro.world import Place
 class SchemeBundle:
     """A scheme plus the error-model machinery UniLoc wraps around it."""
 
-    scheme: LocalizationScheme
+    scheme: Scheme
     error_models: ErrorModelSet
     extractor: FeatureExtractor
 
@@ -418,7 +418,7 @@ class UniLocFramework:
     def _run_scheme(
         self,
         name: str,
-        scheme: LocalizationScheme,
+        scheme: Scheme,
         snapshot: SensorSnapshot,
         latencies: dict[str, float],
         failures: dict[str, str],
@@ -443,7 +443,7 @@ class UniLocFramework:
     def _guarded_estimate(
         self,
         name: str,
-        scheme: LocalizationScheme,
+        scheme: Scheme,
         snapshot: SensorSnapshot,
         latencies: dict[str, float],
     ) -> tuple[SchemeOutput | None, str | None]:

@@ -8,28 +8,28 @@ full suite trains once, surveys each place once, and can fan walks out
 over worker processes.
 
 ===========  =====================================================
-fig2         :func:`fig2_motivation` — scheme errors along Path 1
-table1       :func:`table1_influence_factors`
-table2       :func:`table2_error_models`
-table3       :func:`table3_prediction_rmse`
+fig2         :func:`_impl_fig2_motivation` — scheme errors along Path 1
+table1       :func:`_impl_table1_influence_factors`
+table2       :func:`_impl_table2_error_models`
+table3       :func:`_impl_table3_prediction_rmse`
 fig3/5/6     :func:`daily_path_result` (one UniLoc run serves all)
-fig7         :func:`fig7_eight_paths`
-fig8a-c      :func:`fig8_environment` ("mall", "open-space", "office")
-fig8d        :func:`fig8d_heterogeneity`
-table4       :func:`table4_energy`
-table5       :func:`table5_response_time`
+fig7         :func:`_impl_fig7_eight_paths`
+fig8a-c      :func:`_impl_fig8_environment` ("mall", "open-space", "office")
+fig8d        :func:`_impl_fig8d_heterogeneity`
+table4       :func:`_impl_table4_energy`
+table5       :func:`_impl_table5_response_time`
 ===========  =====================================================
 
-The public ``fig*`` / ``table*`` free functions are deprecated thin
-wrappers kept for source compatibility; new code should dispatch
+The implementations are intentionally private: all dispatch goes
 through :mod:`repro.eval.registry` (``run_experiment("fig7",
-workers=4)``) or the CLI (``repro run fig7 --workers 4``).
+workers=4)``) or the CLI (``repro run fig7 --workers 4``).  The old
+public ``fig*`` / ``table*`` free-function wrappers (deprecated since
+the registry landed) have been removed.
 """
 
 from __future__ import annotations
 
 import functools
-import warnings
 from dataclasses import dataclass
 
 from repro.core import ErrorModelSet, RegressionSummary
@@ -53,15 +53,6 @@ from repro.world import EnvironmentType
 
 #: Master seed for the shared experiment fixtures.
 DEFAULT_SEED = 0
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"the free function is deprecated; dispatch experiment {name!r} via "
-        f"repro.eval.registry.run_experiment({name!r}) or `repro run {name}`",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @functools.lru_cache(maxsize=4)
@@ -144,19 +135,6 @@ def _impl_fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
     return rows
 
 
-def fig2_motivation(seed: int = DEFAULT_SEED) -> list[Fig2Row]:
-    """Run the five schemes independently along Path 1 (paper Fig. 2).
-
-    Like the paper's motivation experiment this bypasses UniLoc entirely:
-    each scheme reports independently at every location (GPS with no duty
-    cycling).
-
-    .. deprecated:: use ``run_experiment("fig2")`` instead.
-    """
-    _deprecated("fig2")
-    return _impl_fig2_motivation(seed)
-
-
 # ---------------------------------------------------------------------------
 # Table I — influence factors per scheme.
 # ---------------------------------------------------------------------------
@@ -176,17 +154,6 @@ def _impl_table1_influence_factors(
     }
 
 
-def table1_influence_factors(
-    seed: int = DEFAULT_SEED,
-) -> dict[str, dict[str, tuple[str, ...]]]:
-    """Return each scheme's modeled influence factors per context.
-
-    .. deprecated:: use ``run_experiment("table1")`` instead.
-    """
-    _deprecated("table1")
-    return _impl_table1_influence_factors(seed)
-
-
 # ---------------------------------------------------------------------------
 # Table II — error-model coefficients and diagnostics.
 # ---------------------------------------------------------------------------
@@ -203,17 +170,6 @@ def _impl_table2_error_models(
             if model.is_fitted:
                 table[name][label] = model.summary
     return table
-
-
-def table2_error_models(
-    seed: int = DEFAULT_SEED,
-) -> dict[str, dict[str, RegressionSummary]]:
-    """Return the Table II regression summaries (per scheme, per context).
-
-    .. deprecated:: use ``run_experiment("table2")`` instead.
-    """
-    _deprecated("table2")
-    return _impl_table2_error_models(seed)
 
 
 # ---------------------------------------------------------------------------
@@ -276,21 +232,6 @@ def _impl_table3_prediction_rmse(
     return table
 
 
-def table3_prediction_rmse(
-    seed: int = DEFAULT_SEED, workers: int = 1
-) -> dict[str, dict[str, float]]:
-    """Return normalized prediction RMSE for the four Table III conditions.
-
-    Conditions: {same, new} place x {same, different} device.  "Same"
-    places are the training office and open space (fresh walks); "new"
-    places are the second office and the urban open space.
-
-    .. deprecated:: use ``run_experiment("table3")`` instead.
-    """
-    _deprecated("table3")
-    return _impl_table3_prediction_rmse(seed, workers=workers)
-
-
 # ---------------------------------------------------------------------------
 # Figures 3, 5, 6 — the daily path under UniLoc.
 # ---------------------------------------------------------------------------
@@ -351,15 +292,6 @@ def _impl_fig7_eight_paths(
     return merge_results(_run_jobs(jobs, workers=workers))
 
 
-def fig7_eight_paths(seed: int = DEFAULT_SEED, workers: int = 1) -> WalkResult:
-    """Run UniLoc over all eight campus paths and pool the records.
-
-    .. deprecated:: use ``run_experiment("fig7")`` instead.
-    """
-    _deprecated("fig7")
-    return _impl_fig7_eight_paths(seed, workers=workers)
-
-
 # ---------------------------------------------------------------------------
 # Figure 8a-c — different environments (new places).
 # ---------------------------------------------------------------------------
@@ -387,21 +319,6 @@ def _impl_fig8_environment(
         for idx in range(10)
     ]
     return merge_results(_run_jobs(jobs, workers=workers))
-
-
-def fig8_environment(
-    place_name: str, seed: int = DEFAULT_SEED, workers: int = 1
-) -> WalkResult:
-    """Run the paper's per-place protocol: 10 trajectories of ~30 m.
-
-    Valid ``place_name`` values: ``"mall"``, ``"urban-open-space"``,
-    ``"office"`` (the office is a *trained* place, the other two are new).
-
-    .. deprecated:: use ``run_experiment("fig8a")`` (mall), ``"fig8b"``
-       (urban open space), or ``"fig8c"`` (office) instead.
-    """
-    _deprecated("fig8a/fig8b/fig8c")
-    return _impl_fig8_environment(place_name, seed, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -468,19 +385,6 @@ def _impl_fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]
     return results
 
 
-def fig8d_heterogeneity(seed: int = DEFAULT_SEED) -> dict[str, WalkResult]:
-    """Run the office walk on an LG G3 with and without calibration.
-
-    The fingerprint database and the error models both come from the
-    reference device; the test device's offset RSSIs degrade matching
-    until the online-learned affine correction restores it.
-
-    .. deprecated:: use ``run_experiment("fig8d")`` instead.
-    """
-    _deprecated("fig8d")
-    return _impl_fig8d_heterogeneity(seed)
-
-
 # ---------------------------------------------------------------------------
 # Table IV — energy; Table V — response time.
 # ---------------------------------------------------------------------------
@@ -490,23 +394,5 @@ def _impl_table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
     return energy_table(daily_path_result(seed))
 
 
-def table4_energy(seed: int = DEFAULT_SEED) -> list[EnergyReport]:
-    """Return the Table IV energy accounting over the daily path.
-
-    .. deprecated:: use ``run_experiment("table4")`` instead.
-    """
-    _deprecated("table4")
-    return _impl_table4_energy(seed)
-
-
 def _impl_table5_response_time() -> ResponseTimeBreakdown:
     return response_time()
-
-
-def table5_response_time() -> ResponseTimeBreakdown:
-    """Return the modeled Table V response-time decomposition.
-
-    .. deprecated:: use ``run_experiment("table5")`` instead.
-    """
-    _deprecated("table5")
-    return _impl_table5_response_time()

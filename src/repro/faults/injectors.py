@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan, SchemeFault, SensorFault
 from repro.geometry import Point
-from repro.schemes.base import LocalizationScheme, SchemeOutput
+from repro.schemes.base import LocalizationScheme, Scheme, SchemeOutput
 from repro.sensors import SensorSnapshot
 from repro.sensors.gps import GpsStatus
 
@@ -50,7 +50,7 @@ class FaultyScheme(LocalizationScheme):
 
     def __init__(
         self,
-        inner: LocalizationScheme,
+        inner: Scheme,
         plan: FaultPlan,
         faults: tuple[tuple[int, SchemeFault], ...],
     ) -> None:

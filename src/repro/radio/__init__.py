@@ -1,4 +1,11 @@
-"""Radio substrate: propagation, transmitters, satellites, fingerprints."""
+"""Radio substrate: propagation, transmitters, satellites, fingerprints.
+
+The scalar APIs (``PropagationModel``, ``FingerprintDatabase``, ...) are
+thin fronts over the vectorized kernels in :mod:`repro.radio.kernels`;
+batch consumers can use the kernels directly, and every fingerprint
+database flavour answers queries through the
+:class:`~repro.radio.index.FingerprintIndex` protocol.
+"""
 
 from repro.radio.deployment import RadioEnvironment
 from repro.radio.fingerprint import MISSING_RSSI_DBM, Fingerprint, FingerprintDatabase
@@ -6,6 +13,15 @@ from repro.radio.gaussian_fingerprint import (
     GaussianFingerprint,
     GaussianFingerprintDatabase,
     GaussianReading,
+)
+from repro.radio.index import FingerprintIndex, MatchCandidate
+from repro.radio.kernels import (
+    CompiledFingerprintDatabase,
+    CompiledGaussianFingerprintDatabase,
+    ShadowingBank,
+    ShadowingField,
+    compile_fingerprints,
+    compile_gaussian_fingerprints,
 )
 from repro.radio.propagation import (
     CELL_SENSITIVITY_DBM,
@@ -34,16 +50,24 @@ __all__ = [
     "MISSING_RSSI_DBM",
     "WIFI_MODEL",
     "WIFI_SENSITIVITY_DBM",
+    "CompiledFingerprintDatabase",
+    "CompiledGaussianFingerprintDatabase",
     "Constellation",
     "Fingerprint",
     "FingerprintDatabase",
+    "FingerprintIndex",
     "GaussianFingerprint",
     "GaussianFingerprintDatabase",
     "GaussianReading",
+    "MatchCandidate",
     "PropagationModel",
     "RadioEnvironment",
     "Satellite",
+    "ShadowingBank",
+    "ShadowingField",
     "Transmitter",
+    "compile_fingerprints",
+    "compile_gaussian_fingerprints",
     "deploy_access_points",
     "deploy_cell_towers",
 ]

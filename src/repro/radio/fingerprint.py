@@ -18,10 +18,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.geometry import Point
+from repro.radio.index import MatchCandidate
+
+if TYPE_CHECKING:
+    from repro.radio.kernels import CompiledFingerprintDatabase
 
 #: RSSI assumed for a transmitter missing from one of the two vectors
 #: being compared (just below every radio's sensitivity floor).
@@ -57,34 +62,50 @@ class FingerprintDatabase:
     def rssi_distance(a: dict[str, float], b: dict[str, float]) -> float:
         """Return the Euclidean distance between two RSSI vectors.
 
-        The distance is computed over the union of transmitter identifiers;
-        a transmitter audible in only one vector contributes its offset
-        from :data:`MISSING_RSSI_DBM`, which penalizes mismatched AP sets
-        the way RADAR implementations do.  Two empty vectors are maximally
-        distant (``inf``) rather than identical.
+        The distance is computed over the union of transmitter identifiers
+        (iterated in sorted order so the sum is reproducible across
+        processes); a transmitter audible in only one vector contributes
+        its offset from :data:`MISSING_RSSI_DBM`, which penalizes
+        mismatched AP sets the way RADAR implementations do.  Two empty
+        vectors are maximally distant (``inf``) rather than identical.
         """
         keys = set(a) | set(b)
         if not keys:
             return float("inf")
         acc = 0.0
-        for key in keys:
+        for key in sorted(keys):
             diff = a.get(key, MISSING_RSSI_DBM) - b.get(key, MISSING_RSSI_DBM)
             acc += diff * diff
         return math.sqrt(acc)
 
+    def compiled(self) -> "CompiledFingerprintDatabase":
+        """Return (and cache) this database lowered to the dense kernel form.
+
+        All batch queries — :meth:`nearest`, :meth:`match`,
+        :meth:`candidate_deviation`, :meth:`spatial_density_around` —
+        run on the compiled form; the database is treated as immutable
+        once the first query compiles it.
+        """
+        from repro.radio.kernels import compile_fingerprints
+
+        return compile_fingerprints(self)
+
     def nearest(self, rssi_dbm: dict[str, float], k: int = 3) -> list[tuple[Fingerprint, float]]:
         """Return the ``k`` entries with the smallest RSSI distance.
+
+        An empty scan carries no information and matches nothing: the
+        result is ``[]`` (historically the entries were ranked by their
+        distance from pure silence, which produced meaningless all-``inf``
+        or floor-offset candidates).
 
         Raises:
             ValueError: if ``k`` is not positive.
         """
-        if k <= 0:
-            raise ValueError("k must be positive")
-        scored = [
-            (entry, self.rssi_distance(rssi_dbm, entry.rssi)) for entry in self.entries
-        ]
-        scored.sort(key=lambda pair: pair[1])
-        return scored[:k]
+        return self.compiled().nearest(rssi_dbm, k=k)
+
+    def match(self, rssi_dbm: dict[str, float], k: int = 3) -> list[MatchCandidate]:
+        """Return the best ``k`` scored candidates (``FingerprintIndex`` API)."""
+        return self.compiled().match(rssi_dbm, k=k)
 
     def spatial_density_around(self, point: Point, radius_m: float = 15.0) -> float:
         """Return the average inter-fingerprint distance near ``point``.
@@ -94,23 +115,10 @@ class FingerprintDatabase:
         is the mean nearest-neighbor distance among fingerprints within
         ``radius_m`` of the query; if fewer than two fingerprints are in
         range the distance from the query to its nearest fingerprint is
-        used instead (an even stronger sparsity signal).
+        used instead (an even stronger sparsity signal).  Evaluated on
+        the compiled KD-grid kernel.
         """
-        nearby = [
-            e for e in self.entries if e.position.distance_to(point) <= radius_m
-        ]
-        if len(nearby) < 2:
-            best = min(e.position.distance_to(point) for e in self.entries)
-            return max(best, radius_m)
-        acc = 0.0
-        for entry in nearby:
-            others = (
-                o.position.distance_to(entry.position)
-                for o in nearby
-                if o is not entry
-            )
-            acc += min(others)
-        return acc / len(nearby)
+        return self.compiled().spatial_density_around(point, radius_m=radius_m)
 
     def candidate_deviation(self, rssi_dbm: dict[str, float], k: int = 3) -> float:
         """Return the beta_2 feature: std-dev of the top-k RSSI distances.
@@ -119,11 +127,7 @@ class FingerprintDatabase:
         indistinguishable, so the chosen one is likely wrong — the paper
         accordingly learns a negative coefficient for this feature.
         """
-        top = self.nearest(rssi_dbm, k=k)
-        distances = np.array([d for _, d in top if math.isfinite(d)])
-        if distances.size < 2:
-            return 0.0
-        return float(np.std(distances))
+        return self.compiled().candidate_deviation(rssi_dbm, k=k)
 
     def downsample(self, spacing_m: float) -> "FingerprintDatabase":
         """Thin the survey to approximately ``spacing_m`` meters between entries.

@@ -12,11 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.geometry import Point
 from repro.radio.fingerprint import MISSING_RSSI_DBM
+from repro.radio.index import MatchCandidate
+
+if TYPE_CHECKING:
+    from repro.radio.kernels import CompiledGaussianFingerprintDatabase
 
 #: Deviation assumed for an AP with too few samples to estimate one.
 DEFAULT_STD_DB = 4.0
@@ -116,18 +121,30 @@ class GaussianFingerprintDatabase:
             total += max(term, LOG_LIKELIHOOD_FLOOR)
         return total
 
+    def compiled(self) -> "CompiledGaussianFingerprintDatabase":
+        """Return (and cache) the dense kernel form of this database."""
+        from repro.radio.kernels import compile_gaussian_fingerprints
+
+        return compile_gaussian_fingerprints(self)
+
     def most_likely(
         self, scan: dict[str, float], k: int = 3
     ) -> list[tuple[GaussianFingerprint, float]]:
         """Return the ``k`` most likely locations with their log-likelihoods.
 
+        An empty scan carries no information and matches nothing: the
+        result is ``[]``.
+
         Raises:
             ValueError: if ``k`` is not positive.
         """
-        if k <= 0:
-            raise ValueError("k must be positive")
-        scored = [
-            (entry, self.log_likelihood(scan, entry)) for entry in self.entries
-        ]
-        scored.sort(key=lambda pair: pair[1], reverse=True)
-        return scored[:k]
+        return self.compiled().most_likely(scan, k=k)
+
+    def match(self, scan: dict[str, float], k: int = 3) -> list[MatchCandidate]:
+        """Return the best ``k`` candidates scored by negated log-likelihood
+        (``FingerprintIndex`` API)."""
+        return self.compiled().match(scan, k=k)
+
+    def positions(self) -> np.ndarray:
+        """Return an ``(n, 2)`` array of surveyed positions."""
+        return self.compiled().positions()

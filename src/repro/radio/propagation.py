@@ -22,12 +22,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.geometry import Point
+from repro.radio.kernels import REFERENCE_DISTANCE_M, ShadowingField
 
-#: Reference distance for the path-loss model, meters.
-REFERENCE_DISTANCE_M = 1.0
+__all__ = [
+    "REFERENCE_DISTANCE_M",
+    "PropagationModel",
+    "WIFI_MODEL",
+    "CELLULAR_MODEL",
+    "WIFI_SENSITIVITY_DBM",
+    "CELL_SENSITIVITY_DBM",
+]
 
 
 @dataclass(frozen=True)
@@ -77,20 +82,20 @@ class PropagationModel:
         small bank of plane-wave sinusoids.  The result is smooth over
         ``shadowing_scale_m`` and reproducible for any query point, which
         is what fingerprinting needs (the field is the fingerprint).
+
+        Delegates to the cached :class:`~repro.radio.kernels.ShadowingField`
+        kernel, whose evaluation is bit-identical to the original scalar
+        loop — but the wave bank is drawn once per ``(model, tx_seed)``
+        instead of on every call.
         """
         if self.shadowing_sigma_db <= 0.0:
             return 0.0
-        rng = np.random.default_rng(tx_seed)
-        n_waves = 6
-        angles = rng.uniform(0.0, 2.0 * math.pi, size=n_waves)
-        phases = rng.uniform(0.0, 2.0 * math.pi, size=n_waves)
-        k = 2.0 * math.pi / self.shadowing_scale_m
-        value = sum(
-            math.sin(k * (rx.x * math.cos(a) + rx.y * math.sin(a)) + ph)
-            for a, ph in zip(angles, phases)
-        )
-        # Sum of n independent unit sinusoids has variance n/2; normalize.
-        return self.shadowing_sigma_db * value / math.sqrt(n_waves / 2.0)
+        field = ShadowingField.for_transmitter(self, tx_seed)
+        return field.shadowing_db_at(rx.x, rx.y)
+
+    def shadowing_field(self, tx_seed: int) -> ShadowingField:
+        """Return this model's cached shadowing kernel for one transmitter."""
+        return ShadowingField.for_transmitter(self, tx_seed)
 
     def distance_for_rssi(self, rssi_dbm: float) -> float:
         """Invert the deterministic model: distance implied by an RSSI.

@@ -1,6 +1,6 @@
 """The individual localization schemes UniLoc aggregates."""
 
-from repro.schemes.base import LocalizationScheme, SchemeOutput, TimedScheme
+from repro.schemes.base import LocalizationScheme, Scheme, SchemeOutput, TimedScheme
 from repro.schemes.bootstrap import StartEstimate, ZeeBootstrap, bootstrap_start
 from repro.schemes.cell_id import CellIdScheme
 from repro.schemes.fingerprinting import (
@@ -32,6 +32,7 @@ __all__ = [
     "ParticleFilter",
     "PdrScheme",
     "RadarScheme",
+    "Scheme",
     "SchemeOutput",
     "TimedScheme",
     "compensate_steps",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -121,6 +122,31 @@ class SchemeOutput:
         return posterior / total
 
 
+@runtime_checkable
+class Scheme(Protocol):
+    """Structural interface of a localization scheme.
+
+    UniLoc treats schemes as black boxes (§III-A): anything exposing a
+    ``name``, an ``estimate`` over sensor snapshots, and a per-walk
+    ``reset`` can be aggregated, timed (:class:`TimedScheme`), or fault-
+    wrapped (:class:`repro.faults.injectors.FaultyScheme`) — no
+    inheritance from :class:`LocalizationScheme` required.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports ("gps", "wifi", ...)."""
+        ...
+
+    def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
+        """Produce a location estimate from one sensor snapshot."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any internal state before a new walk."""
+        ...
+
+
 class LocalizationScheme(abc.ABC):
     """A localization scheme run as a black box.
 
@@ -158,7 +184,7 @@ class TimedScheme(LocalizationScheme):
     """
 
     def __init__(
-        self, inner: LocalizationScheme, histogram: Histogram | None = None
+        self, inner: Scheme, histogram: Histogram | None = None
     ) -> None:
         self.inner = inner
         self.name = inner.name

@@ -7,6 +7,12 @@ The top-``k`` candidates (k = 3 in the paper's setting) are retained both
 to shape the scheme's grid posterior and to feed the error model's "RSSI
 distance deviation" feature.
 
+Matching runs on the compiled kernels
+(:class:`~repro.radio.kernels.CompiledFingerprintDatabase`): one dense
+distance evaluation per scan serves both the global top-k and the
+temporal-continuity window, instead of the historical two passes of
+per-entry dict-union arithmetic.
+
 :class:`HorusScheme` is the probabilistic variant the paper discusses
 (Horus [2]): per-AP Gaussian likelihoods instead of vector distances.  It
 is included as an extension and exercised by tests, but — like in the
@@ -22,7 +28,9 @@ import numpy as np
 
 from repro.geometry import Point
 from repro.radio import FingerprintDatabase
-from repro.radio.fingerprint import MISSING_RSSI_DBM
+from repro.radio.index import FingerprintIndex
+from repro.radio.kernels import CompiledFingerprintDatabase, compile_fingerprints
+from repro.radio.fingerprint import Fingerprint
 from repro.schemes.base import LocalizationScheme, SchemeOutput
 from repro.sensors import SensorSnapshot
 
@@ -45,17 +53,22 @@ class FingerprintScheme(LocalizationScheme):
     lost and re-acquires globally.  This is the standard practical
     refinement of RADAR-style systems and keeps errors bounded by walking
     speed rather than by place size.
+
+    Accepts either a plain :class:`~repro.radio.FingerprintDatabase` or
+    an already-compiled kernel database; the scalar form is compiled once
+    at construction.
     """
 
     def __init__(
         self,
-        database: FingerprintDatabase,
+        database: FingerprintDatabase | CompiledFingerprintDatabase,
         k: int = 3,
         continuity_radius_m: float | None = 30.0,
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         self.database = database
+        self._index = compile_fingerprints(database)
         self.k = k
         self.continuity_radius_m = continuity_radius_m
         self._last_position: Point | None = None
@@ -68,27 +81,34 @@ class FingerprintScheme(LocalizationScheme):
         """Extract this scheme's RSSI vector from the snapshot."""
         raise NotImplementedError
 
-    def _candidate_entries(self, scan: dict[str, float]) -> list[tuple]:
-        """Rank fingerprints by RSSI distance under the continuity window."""
-        global_top = self.database.nearest(scan, k=self.k)
+    def _candidate_entries(
+        self, scan: dict[str, float]
+    ) -> list[tuple[Fingerprint, float]]:
+        """Rank fingerprints by RSSI distance under the continuity window.
+
+        One dense distance pass serves both the unconstrained top-k and
+        the windowed top-k.
+        """
+        index = self._index
+        scores = index.distances(scan)
+        order = np.argsort(scores, kind="stable")
+        global_top = [
+            (index.entries[i], float(scores[i])) for i in order[: self.k]
+        ]
         if self.continuity_radius_m is None or self._last_position is None:
             return global_top
         anchor = self._last_position
-        windowed = [
-            (entry, dist)
-            for entry, dist in (
-                (e, self.database.rssi_distance(scan, e.rssi))
-                for e in self.database.entries
-                if e.position.distance_to(anchor) <= self.continuity_radius_m
-            )
-        ]
-        windowed.sort(key=lambda pair: pair[1])
-        windowed = windowed[: self.k]
-        if not windowed:
+        positions = index.positions()
+        in_window = (
+            np.hypot(positions[:, 0] - anchor.x, positions[:, 1] - anchor.y)
+            <= self.continuity_radius_m
+        )
+        windowed = order[in_window[order]][: self.k]
+        if windowed.size == 0:
             return global_top
-        if windowed[0][1] > global_top[0][1] + CONTINUITY_ESCAPE_DB:
+        if float(scores[windowed[0]]) > global_top[0][1] + CONTINUITY_ESCAPE_DB:
             return global_top  # lost the track: re-acquire globally
-        return windowed
+        return [(index.entries[i], float(scores[i])) for i in windowed]
 
     def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
         """Match the online scan against the offline database."""
@@ -158,14 +178,20 @@ class HorusScheme(FingerprintScheme):
 
     Each offline fingerprint is treated as the mean of a Gaussian RSSI
     distribution with a shared deviation ``sigma_db``; the location
-    posterior is the product of per-AP likelihoods.  Extension scheme —
-    not part of the aggregated five.
+    posterior is the product of per-AP likelihoods.  Because every per-AP
+    term shares one deviation, the log-likelihood is exactly
+    ``-d^2 / (2 sigma^2)`` for the kernel RSSI distance ``d`` — so the
+    per-entry union loop collapses to one dense distance pass.  Extension
+    scheme — not part of the aggregated five.
     """
 
     name = "horus"
 
     def __init__(
-        self, database: FingerprintDatabase, k: int = 3, sigma_db: float = 4.0
+        self,
+        database: FingerprintDatabase | CompiledFingerprintDatabase,
+        k: int = 3,
+        sigma_db: float = 4.0,
     ) -> None:
         super().__init__(database, k)
         if sigma_db <= 0.0:
@@ -179,22 +205,16 @@ class HorusScheme(FingerprintScheme):
         scan = self._scan(snapshot)
         if not scan:
             return None
-        log_likes = []
-        for entry in self.database.entries:
-            keys = set(scan) | set(entry.rssi)
-            ll = 0.0
-            for key in keys:
-                diff = scan.get(key, MISSING_RSSI_DBM) - entry.rssi.get(
-                    key, MISSING_RSSI_DBM
-                )
-                ll -= diff * diff / (2.0 * self.sigma_db * self.sigma_db)
-            log_likes.append(ll)
-        log_likes_arr = np.array(log_likes)
+        index = self._index
+        distance = index.distances(scan)
+        log_likes_arr = -(distance * distance) / (
+            2.0 * self.sigma_db * self.sigma_db
+        )
         log_likes_arr -= log_likes_arr.max()
         likes = np.exp(log_likes_arr)
         order = np.argsort(likes)[::-1][: self.k]
         candidates = [
-            (self.database.entries[i].position, float(likes[i])) for i in order
+            (index.entries[i].position, float(likes[i])) for i in order
         ]
         best = candidates[0][0]
         spread = self._candidate_spread(best, candidates)
@@ -211,15 +231,16 @@ class GaussianHorusScheme(LocalizationScheme):
 
     Unlike :class:`HorusScheme` (which approximates per-AP distributions
     with a shared deviation over single-sample fingerprints), this
-    variant consumes a :class:`~repro.radio.gaussian_fingerprint.
-    GaussianFingerprintDatabase` with learned per-AP means and
-    deviations — the full Horus design the paper deems too expensive to
-    survey at campus scale.
+    variant consumes a learned per-AP mean/deviation survey.  It is
+    written against the :class:`~repro.radio.index.FingerprintIndex`
+    protocol, so any database flavour — Gaussian or Euclidean, scalar or
+    compiled — can be plugged in; scores are lower-is-better and the
+    softmin weighting ``exp(best - score)`` applies uniformly.
     """
 
     name = "horus_gaussian"
 
-    def __init__(self, database, k: int = 3) -> None:
+    def __init__(self, database: FingerprintIndex, k: int = 3) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         self.database = database
@@ -229,20 +250,23 @@ class GaussianHorusScheme(LocalizationScheme):
         scan = snapshot.wifi_scan
         if not scan:
             return None
-        top = self.database.most_likely(scan, k=self.k)
-        finite = [(e, ll) for e, ll in top if math.isfinite(ll)]
+        top = self.database.match(scan, k=self.k)
+        finite = [c for c in top if math.isfinite(c.score)]
         if not finite:
             return None
-        best_entry, best_ll = finite[0]
-        weights = [math.exp(ll - best_ll) for _, ll in finite]
+        best = finite[0]
+        weights = [math.exp(best.score - c.score) for c in finite]
         candidates = [
-            (entry.position, weight)
-            for (entry, _), weight in zip(finite, weights)
+            (candidate.position, weight)
+            for candidate, weight in zip(finite, weights)
         ]
-        spread = FingerprintScheme._candidate_spread(best_entry.position, candidates)
+        spread = FingerprintScheme._candidate_spread(best.position, candidates)
         return SchemeOutput(
-            position=best_entry.position,
+            position=best.position,
             spread=spread,
             candidates=candidates,
-            quality={"n_sources": float(len(scan)), "best_log_likelihood": best_ll},
+            quality={
+                "n_sources": float(len(scan)),
+                "best_log_likelihood": -best.score,
+            },
         )

@@ -17,6 +17,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.radio import FingerprintDatabase
+from repro.radio.kernels import compile_fingerprints
 from repro.schemes.base import SchemeOutput
 from repro.schemes.pdr import PdrScheme
 from repro.sensors import SensorSnapshot
@@ -43,7 +44,8 @@ class FusionScheme(PdrScheme):
         if self.database is None:
             raise ValueError("FusionScheme requires a fingerprint database")
         super().__post_init__()
-        self._fp_tree = cKDTree(self.database.positions())
+        self._fp_index = compile_fingerprints(self.database)
+        self._fp_tree = cKDTree(self._fp_index.positions())
 
     def estimate(self, snapshot: SensorSnapshot) -> SchemeOutput | None:
         """Motion update, RSSI re-weighting, landmark calibration."""
@@ -64,11 +66,8 @@ class FusionScheme(PdrScheme):
             return
         distances, indices = self._fp_tree.query(self._pf.positions)
         unique = np.unique(indices)
-        rssi_distance = {
-            int(i): self.database.rssi_distance(scan, self.database.entries[int(i)].rssi)
-            for i in unique
-        }
-        per_particle = np.array([rssi_distance[int(i)] for i in indices])
+        unique_scores = self._fp_index.distances(scan, rows=unique)
+        per_particle = unique_scores[np.searchsorted(unique, indices)]
         finite = np.isfinite(per_particle)
         if not finite.any():
             return

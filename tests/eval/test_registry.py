@@ -57,11 +57,23 @@ def test_run_experiment_overrides_config():
     assert experiment.config.n_walks == 3
 
 
-def test_deprecated_free_functions_warn():
+def test_deprecated_free_functions_are_gone():
+    """The old public ``fig*``/``table*`` wrappers were removed; the
+    registry is the only dispatch surface."""
     from repro.eval import experiments
 
-    with pytest.warns(DeprecationWarning, match="table5"):
-        experiments.table5_response_time()
+    for wrapper in (
+        "fig2_motivation",
+        "table1_influence_factors",
+        "table2_error_models",
+        "table3_prediction_rmse",
+        "fig7_eight_paths",
+        "fig8_environment",
+        "fig8d_heterogeneity",
+        "table4_energy",
+        "table5_response_time",
+    ):
+        assert not hasattr(experiments, wrapper), wrapper
 
 
 @pytest.fixture

@@ -1,0 +1,267 @@
+"""Golden equivalence: the kernel layer vs the pre-kernel scalar code.
+
+The batch-first kernels in :mod:`repro.radio.kernels` replaced the
+per-point/per-entry scalar implementations (preserved verbatim in
+:mod:`repro.bench.baselines`).  The refactor's contract is numerical:
+
+* shadowing agrees **bit-for-bit** (same wave bank, same sin/sum order);
+* path loss, mean RSSI, fingerprint distances, and both `beta` features
+  (candidate deviation, spatial density) agree to 1e-9;
+* nearest-k returns the same entries in the same order;
+* a compiled database built from a persistence round-trip answers
+  identically (JSON floats round-trip exactly).
+
+Random "places" are seeded draws: transmitter layouts, fingerprint
+surveys, and scans all come from ``default_rng(seed)``, and every
+property is checked across several seeds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import baselines
+from repro.geometry import Point
+from repro.radio import (
+    Fingerprint,
+    FingerprintDatabase,
+    GaussianFingerprint,
+    GaussianFingerprintDatabase,
+    GaussianReading,
+    WIFI_MODEL,
+    compile_fingerprints,
+    compile_gaussian_fingerprints,
+)
+from repro.radio import kernels
+from repro.radio.kernels import ShadowingBank, ShadowingField
+
+PLACE_SEEDS = [0, 7, 1234]
+
+
+def random_db(seed: int, n_entries: int = 40, n_keys: int = 9):
+    """A seeded random survey: clustered positions, patchy RSSI vectors."""
+    rng = np.random.default_rng(seed)
+    keys = [f"ap{i}" for i in range(n_keys)]
+    entries = []
+    for _ in range(n_entries):
+        x, y = rng.uniform(0.0, 80.0, size=2)
+        audible = rng.integers(1, n_keys + 1)
+        chosen = rng.choice(n_keys, size=audible, replace=False)
+        rssi = {keys[j]: float(rng.uniform(-95.0, -35.0)) for j in sorted(chosen)}
+        entries.append(Fingerprint(Point(float(x), float(y)), rssi))
+    return FingerprintDatabase(entries)
+
+
+def random_scan(seed: int, n_keys: int = 9) -> dict[str, float]:
+    rng = np.random.default_rng(seed + 5000)
+    audible = rng.integers(1, n_keys + 1)
+    chosen = rng.choice(n_keys + 2, size=min(audible, n_keys), replace=False)
+    return {f"ap{j}": float(rng.uniform(-95.0, -35.0)) for j in sorted(chosen)}
+
+
+class TestShadowing:
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_scalar_field_is_bitwise_identical_to_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        field = ShadowingField.for_transmitter(WIFI_MODEL, tx_seed=seed)
+        for x, y in rng.uniform(-200.0, 200.0, size=(50, 2)):
+            expected = baselines.shadowing_db_reference(
+                WIFI_MODEL.shadowing_sigma_db,
+                WIFI_MODEL.shadowing_scale_m,
+                Point(float(x), float(y)),
+                seed,
+            )
+            assert field.shadowing_db_at(float(x), float(y)) == expected
+
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_batched_field_is_bitwise_identical_to_scalar(self, seed):
+        rng = np.random.default_rng(seed + 1)
+        field = ShadowingField.for_transmitter(WIFI_MODEL, tx_seed=seed)
+        points = rng.uniform(-200.0, 200.0, size=(64, 2))
+        batched = field.shadowing_db(points)
+        for value, (x, y) in zip(batched, points):
+            assert value == field.shadowing_db_at(float(x), float(y))
+
+    def test_bank_matches_per_transmitter_fields(self):
+        rng = np.random.default_rng(3)
+        seeds = tuple(range(11, 17))
+        bank = ShadowingBank.stack(WIFI_MODEL, seeds)
+        points = rng.uniform(-100.0, 100.0, size=(32, 2))
+        grid = bank.shadowing_db(points)
+        for j, tx_seed in enumerate(seeds):
+            field = ShadowingField.for_transmitter(WIFI_MODEL, tx_seed)
+            assert np.array_equal(grid[:, j], field.shadowing_db(points))
+
+
+class TestPathLossAndMeanRssi:
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_batched_path_loss_matches_reference(self, seed):
+        rng = np.random.default_rng(seed + 2)
+        distances = rng.uniform(0.0, 300.0, size=100)
+        walls = rng.integers(0, 4, size=100).astype(float)
+        batched = kernels.path_loss_db(WIFI_MODEL, distances, walls)
+        for i in range(distances.size):
+            expected = baselines.path_loss_db_reference(
+                WIFI_MODEL.pl0_db,
+                WIFI_MODEL.exponent,
+                WIFI_MODEL.wall_loss_db,
+                float(distances[i]),
+                int(walls[i]),
+            )
+            assert batched[i] == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_batched_mean_rssi_matches_scalar_composition(self, seed):
+        rng = np.random.default_rng(seed + 3)
+        tx_xy = rng.uniform(0.0, 60.0, size=(5, 2))
+        tx_seeds = tuple(int(s) for s in rng.integers(0, 10_000, size=5))
+        rx_xy = rng.uniform(0.0, 60.0, size=(20, 2))
+        walls = rng.integers(0, 3, size=(20, 5)).astype(float)
+        grid = kernels.mean_rssi_dbm(WIFI_MODEL, tx_xy, tx_seeds, rx_xy, walls)
+        for i in range(20):
+            for j in range(5):
+                tx = Point(float(tx_xy[j, 0]), float(tx_xy[j, 1]))
+                rx = Point(float(rx_xy[i, 0]), float(rx_xy[i, 1]))
+                expected = (
+                    WIFI_MODEL.tx_power_dbm
+                    - baselines.path_loss_db_reference(
+                        WIFI_MODEL.pl0_db,
+                        WIFI_MODEL.exponent,
+                        WIFI_MODEL.wall_loss_db,
+                        tx.distance_to(rx),
+                        int(walls[i, j]),
+                    )
+                    - baselines.shadowing_db_reference(
+                        WIFI_MODEL.shadowing_sigma_db,
+                        WIFI_MODEL.shadowing_scale_m,
+                        rx,
+                        tx_seeds[j],
+                    )
+                )
+                assert grid[i, j] == pytest.approx(expected, abs=1e-9)
+
+
+class TestFingerprintMatching:
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_nearest_k_ordering_matches_reference(self, seed):
+        db = random_db(seed)
+        compiled = compile_fingerprints(db)
+        for scan_seed in range(seed, seed + 10):
+            scan = random_scan(scan_seed)
+            expected = baselines.nearest_reference(db.entries, scan, k=4)
+            actual = compiled.nearest(scan, k=4)
+            assert [e.position for e, _ in actual] == [
+                e.position for e, _ in expected
+            ]
+            for (_, d_actual), (_, d_expected) in zip(actual, expected):
+                assert d_actual == pytest.approx(d_expected, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_beta2_candidate_deviation_matches_reference(self, seed):
+        db = random_db(seed)
+        compiled = compile_fingerprints(db)
+        for scan_seed in range(seed, seed + 10):
+            scan = random_scan(scan_seed)
+            expected = baselines.candidate_deviation_reference(
+                db.entries, scan, k=3
+            )
+            assert compiled.candidate_deviation(scan, k=3) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_beta1_spatial_density_matches_reference(self, seed):
+        db = random_db(seed)
+        compiled = compile_fingerprints(db)
+        rng = np.random.default_rng(seed + 9)
+        for x, y in rng.uniform(-10.0, 90.0, size=(25, 2)):
+            point = Point(float(x), float(y))
+            expected = baselines.spatial_density_reference(
+                db.entries, point, radius_m=15.0
+            )
+            actual = compiled.spatial_density_around(point, radius_m=15.0)
+            assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_scalar_database_delegates_identically(self):
+        db = random_db(99)
+        compiled = compile_fingerprints(db)
+        scan = random_scan(99)
+        assert db.nearest(scan, k=3) == compiled.nearest(scan, k=3)
+        assert db.candidate_deviation(scan) == compiled.candidate_deviation(scan)
+        point = Point(5.0, 5.0)
+        assert db.spatial_density_around(point) == compiled.spatial_density_around(
+            point
+        )
+
+
+class TestGaussianLikelihood:
+    @pytest.mark.parametrize("seed", PLACE_SEEDS)
+    def test_dense_log_likelihood_matches_reference(self, seed):
+        rng = np.random.default_rng(seed + 21)
+        entries = []
+        for _ in range(20):
+            x, y = rng.uniform(0.0, 50.0, size=2)
+            n = int(rng.integers(0, 5))
+            readings = {
+                f"ap{int(j)}": GaussianReading(
+                    mean=float(rng.uniform(-90.0, -40.0)),
+                    std=float(rng.uniform(1.0, 8.0)),
+                    count=int(rng.integers(1, 20)),
+                )
+                for j in rng.choice(8, size=n, replace=False)
+            }
+            entries.append(GaussianFingerprint(Point(float(x), float(y)), readings))
+        db = GaussianFingerprintDatabase(entries)
+        compiled = compile_gaussian_fingerprints(db)
+        for scan_seed in range(seed, seed + 8):
+            scan = random_scan(scan_seed, n_keys=8)
+            totals = compiled.log_likelihoods(scan)
+            for i, entry in enumerate(entries):
+                expected = baselines.gaussian_log_likelihood_reference(scan, entry)
+                if math.isinf(expected):
+                    assert math.isinf(totals[i])
+                else:
+                    assert totals[i] == pytest.approx(expected, abs=1e-9)
+
+
+finite_rssi = st.floats(min_value=-100.0, max_value=-20.0)
+entry_strategy = st.builds(
+    Fingerprint,
+    position=st.builds(
+        Point,
+        st.floats(min_value=-50.0, max_value=50.0),
+        st.floats(min_value=-50.0, max_value=50.0),
+    ),
+    rssi=st.dictionaries(
+        st.sampled_from([f"ap{i}" for i in range(6)]), finite_rssi, max_size=6
+    ),
+)
+
+
+class TestPersistenceRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        entries=st.lists(entry_strategy, min_size=1, max_size=12),
+        scan=st.dictionaries(
+            st.sampled_from([f"ap{i}" for i in range(8)]), finite_rssi, max_size=8
+        ),
+    )
+    def test_compiled_database_survives_persistence(
+        self, entries, scan, tmp_path_factory
+    ):
+        """save -> load -> compile answers exactly like the original."""
+        from repro.persistence import load_fingerprints, save_fingerprints
+
+        db = FingerprintDatabase(list(entries))
+        path = tmp_path_factory.mktemp("bench") / "prints.json"
+        save_fingerprints(db, path)
+        reloaded = compile_fingerprints(load_fingerprints(path))
+        original = compile_fingerprints(db)
+        assert np.array_equal(original.matrix, reloaded.matrix)
+        assert np.array_equal(original.positions(), reloaded.positions())
+        a = original.nearest(scan, k=3)
+        b = reloaded.nearest(scan, k=3)
+        assert [(e.position, d) for e, d in a] == [(e.position, d) for e, d in b]
