@@ -9,6 +9,9 @@ speed claims rot silently.  This package keeps them honest:
   real place data and writes a schema-versioned ``BENCH_<date>.json``
   report; ``repro bench compare`` diffs two reports with a regression
   threshold.
+* :mod:`repro.bench.trend` — per-benchmark speedup trajectories across
+  a whole ``BENCH_*.json`` history; ``repro bench trend`` renders them
+  and flags benchmarks that fell below their best-ever speedup.
 
 Comparisons across machines use the *speedup* ratios (kernel vs scalar
 on the same box), which are machine-independent; absolute ``p50``
@@ -26,15 +29,31 @@ from repro.bench.runner import (
     run_benches,
     time_callable,
 )
+from repro.bench.trend import (
+    BenchTrend,
+    TrendPoint,
+    compute_trends,
+    flag_regressions,
+    load_history,
+    render_csv,
+    render_markdown,
+)
 
 __all__ = [
     "BENCH_FORMAT",
     "BENCH_VERSION",
     "BenchReport",
+    "BenchTrend",
     "Timing",
+    "TrendPoint",
     "compare_reports",
+    "compute_trends",
     "default_bench_filename",
+    "flag_regressions",
+    "load_history",
     "load_report",
+    "render_csv",
+    "render_markdown",
     "run_benches",
     "time_callable",
 ]

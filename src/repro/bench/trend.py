@@ -1,0 +1,194 @@
+"""Bench history trends: speedup trajectories over ``BENCH_*.json`` files.
+
+``repro bench compare`` answers "did this run regress against one
+baseline"; this module answers the longitudinal question — *how has
+each kernel's speedup moved across the whole history* of committed
+baselines and nightly artifacts.  ``repro bench trend`` loads every
+``BENCH_*.json`` it is given, orders the reports by their
+``created_at`` stamp, computes per-benchmark speedup trajectories, and
+flags any benchmark whose **latest** speedup fell more than a
+threshold below its **best-ever** (the committed-baseline semantics:
+history only raises the bar).
+
+Non-bench JSON in the same directory is tolerated: the nightly job
+also drops pytest-benchmark suite files (``BENCH_<date>-suite.json``)
+whose payload is not our ``format: "bench"`` schema, and the loader
+skips them with a note instead of failing the report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.bench.runner import DEFAULT_THRESHOLD, BenchReport
+from repro.formats import UnsupportedFormatError, check_header
+
+#: Render formats ``repro bench trend --format`` accepts.
+TREND_FORMATS = ("markdown", "csv")
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One report's speedup for one benchmark."""
+
+    source: str
+    created_at: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class BenchTrend:
+    """One benchmark's speedup trajectory across the history."""
+
+    bench: str
+    points: tuple[TrendPoint, ...]
+
+    @property
+    def first(self) -> TrendPoint:
+        """Return the oldest point."""
+        return self.points[0]
+
+    @property
+    def latest(self) -> TrendPoint:
+        """Return the newest point."""
+        return self.points[-1]
+
+    @property
+    def best(self) -> TrendPoint:
+        """Return the highest-speedup point (ties: oldest wins)."""
+        return max(self.points, key=lambda p: p.speedup)
+
+    def regression(self, threshold: float = DEFAULT_THRESHOLD) -> str | None:
+        """Return a regression description, or None when healthy.
+
+        A benchmark regresses when its latest speedup fell more than
+        ``threshold`` (fractional) below its best-ever speedup.
+        """
+        floor = self.best.speedup * (1.0 - threshold)
+        if self.latest.speedup < floor:
+            return (
+                f"{self.bench}: latest speedup {self.latest.speedup:.1f}x "
+                f"({self.latest.source}) fell below {floor:.1f}x "
+                f"(best {self.best.speedup:.1f}x in {self.best.source} "
+                f"- {threshold:.0%})"
+            )
+        return None
+
+
+def load_history(
+    paths: Sequence[str | Path],
+) -> tuple[list[tuple[str, BenchReport]], list[str]]:
+    """Load bench reports, oldest first; skip files that are not ours.
+
+    Returns ``(history, skipped)`` where ``history`` is ``(source,
+    report)`` pairs sorted by ``created_at`` (source name breaks ties)
+    and ``skipped`` describes every file that was not a readable
+    ``format: "bench"`` artifact — the nightly artifact directory also
+    holds pytest-benchmark suite dumps, and a trend report should note
+    them, not crash on them.
+    """
+    history: list[tuple[str, BenchReport]] = []
+    skipped: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        try:
+            payload = json.loads(path.read_text())
+            check_header(payload, "bench", 1, source=path)
+            report = BenchReport.from_payload(payload, source=path)
+        except UnsupportedFormatError as exc:
+            skipped.append(f"{path.name}: not a bench report ({exc})")
+            continue
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            skipped.append(f"{path.name}: unreadable ({exc})")
+            continue
+        history.append((path.name, report))
+    history.sort(key=lambda item: (item[1].created_at, item[0]))
+    return history, skipped
+
+
+def compute_trends(
+    history: Iterable[tuple[str, BenchReport]],
+) -> list[BenchTrend]:
+    """Turn an ordered report history into per-benchmark trajectories."""
+    series: dict[str, list[TrendPoint]] = {}
+    for source, report in history:
+        for bench, speedup in report.speedups().items():
+            series.setdefault(bench, []).append(
+                TrendPoint(
+                    source=source,
+                    created_at=report.created_at,
+                    speedup=speedup,
+                )
+            )
+    return [
+        BenchTrend(bench=bench, points=tuple(points))
+        for bench, points in sorted(series.items())
+    ]
+
+
+def flag_regressions(
+    trends: Iterable[BenchTrend], threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Return every trend's regression description (empty = healthy).
+
+    Raises:
+        ValueError: on a negative threshold.
+    """
+    if threshold < 0.0:
+        raise ValueError("threshold must be non-negative")
+    flags = []
+    for trend in trends:
+        message = trend.regression(threshold)
+        if message is not None:
+            flags.append(message)
+    return flags
+
+
+def render_markdown(
+    trends: Sequence[BenchTrend],
+    threshold: float = DEFAULT_THRESHOLD,
+    skipped: Sequence[str] = (),
+) -> str:
+    """Render the trend report as a GitHub-flavored markdown table."""
+    if not trends:
+        return "no bench history to report\n"
+    n_reports = len({p.source for t in trends for p in t.points})
+    lines = [
+        f"### Bench speedup trends ({n_reports} report(s), "
+        f"regression threshold {threshold:.0%})",
+        "",
+        "| benchmark | first | best | latest | vs best | status |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for trend in trends:
+        best = trend.best.speedup
+        latest = trend.latest.speedup
+        delta = (latest / best - 1.0) if best > 0.0 else 0.0
+        status = "regressed" if trend.regression(threshold) else "ok"
+        lines.append(
+            f"| {trend.bench} | {trend.first.speedup:.1f}x | {best:.1f}x "
+            f"| {latest:.1f}x | {delta:+.0%} | {status} |"
+        )
+    flags = flag_regressions(trends, threshold)
+    if flags:
+        lines.append("")
+        lines.extend(f"- **{flag}**" for flag in flags)
+    if skipped:
+        lines.append("")
+        lines.extend(f"- skipped {note}" for note in skipped)
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(trends: Sequence[BenchTrend]) -> str:
+    """Render the full trajectory in long-format CSV."""
+    lines = ["bench,source,created_at,speedup"]
+    for trend in trends:
+        for point in trend.points:
+            lines.append(
+                f"{trend.bench},{point.source},"
+                f"{point.created_at:.3f},{point.speedup:.3f}"
+            )
+    return "\n".join(lines) + "\n"

@@ -27,7 +27,19 @@ Commands mirror the paper's workflow:
     decision telemetry stream (see README "Observability").
 ``report TRACE``
     Aggregate a JSONL step trace into per-scheme usage, availability,
-    latency percentiles, and duty-cycle stats.
+    latency percentiles, duty-cycle stats, and (for metered traces)
+    I/O counters.  One of three post-run analysis paths — see also
+    ``telemetry`` for fleet event streams and ``bench trend`` for
+    performance history.
+``telemetry tail|summary|export``
+    Inspect a fleet telemetry event log: ``tail`` prints recent events
+    (or follows a live run with ``--follow``), ``summary`` renders
+    per-place and per-scheme rollups, ``export`` serializes the merged
+    metrics as Prometheus text or JSONL (see README "Observability").
+``profile EXPERIMENT``
+    Run a registered experiment under the deterministic sampling
+    profiler and print the hot-function table; ``--out`` writes
+    collapsed stacks for flamegraph renderers.
 ``chaos [--kind crash] [--workers N] [--strict]``
     Run the fault-matrix resilience experiment: one clean baseline walk
     plus one walk per scheme with that scheme at 100% failure, printing
@@ -38,15 +50,20 @@ Commands mirror the paper's workflow:
     process-boundary purity, metric-name integrity, unit suffixes)
     over the tree; exits 1 on any error-tier finding (see README
     "Static analysis").
-``bench run|compare``
+``bench run|compare|trend``
     ``bench run`` times the radio kernels against their scalar
     baselines on one place and writes a versioned ``BENCH_<date>.json``
     report; ``bench compare BASELINE CURRENT`` diffs two reports and
-    exits 1 when a speedup regressed past the threshold (see README
+    exits 1 when a speedup regressed past the threshold; ``bench trend
+    FILES...`` computes per-benchmark speedup trajectories across a
+    whole report history and flags best-ever regressions (see README
     "Performance").
 
 ``run PLACE PATH`` also accepts ``--trace PATH`` to export the
-telemetry stream while printing its usual evaluation.  Offline
+step-telemetry stream while printing its usual evaluation, and ``run
+EXPERIMENT --telemetry LOG`` streams the fleet's live event log
+(job/span/fault/metric events with correlated run/job/worker IDs) to
+``LOG`` while the experiment runs.  Offline
 artifacts come from the fleet cache: set ``REPRO_CACHE_DIR`` (or pass
 ``--cache-dir``) and repeated invocations skip training and surveying.
 """
@@ -110,40 +127,52 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _prepare_run(args: argparse.Namespace):
+def _prepare_run(args: argparse.Namespace, metrics=None):
     """Shared setup for the walk-driving commands (``run``/``trace``).
 
     Returns ``(setup, framework, walk, snaps)`` or an exit code on a
-    bad place/path.
+    bad place/path.  When ``metrics`` is given it is attached to the
+    cache for the duration of the setup, so artifact I/O during model
+    loading and surveying is metered into it.
     """
     from repro.eval import build_framework
 
     cache = _cache(args)
-    if args.place not in _builders():
-        print(f"unknown place {args.place!r}; see `repro places`", file=sys.stderr)
-        return 2
-    if args.models:
-        from repro.persistence import load_error_models
+    previous_metrics = cache.metrics
+    if metrics is not None:
+        cache.metrics = metrics
+    try:
+        if args.place not in _builders():
+            print(
+                f"unknown place {args.place!r}; see `repro places`",
+                file=sys.stderr,
+            )
+            return 2
+        if args.models:
+            from repro.persistence import load_error_models
 
-        models = load_error_models(args.models)
-    else:
-        models = cache.error_models(args.seed)
-    setup = cache.place_setup(args.place, args.seed + 3)
-    if args.path not in setup.place.paths:
-        print(
-            f"unknown path {args.path!r}; this place has: "
-            + ", ".join(setup.place.paths),
-            file=sys.stderr,
+            models = load_error_models(args.models)
+        else:
+            models = cache.error_models(args.seed)
+        setup = cache.place_setup(args.place, args.seed + 3)
+        if args.path not in setup.place.paths:
+            print(
+                f"unknown path {args.path!r}; this place has: "
+                + ", ".join(setup.place.paths),
+                file=sys.stderr,
+            )
+            return 2
+        walk, snaps = setup.record_walk(
+            args.path, walk_seed=args.seed, trace_seed=args.seed + 1
         )
-        return 2
-    walk, snaps = setup.record_walk(
-        args.path, walk_seed=args.seed, trace_seed=args.seed + 1
-    )
-    framework = build_framework(setup, models, walk.moments[0].position)
-    return setup, framework, walk, snaps
+        framework = build_framework(setup, models, walk.moments[0].position)
+        return setup, framework, walk, snaps
+    finally:
+        if metrics is not None:
+            cache.metrics = previous_metrics
 
 
-def _open_trace(args: argparse.Namespace, out_path: str):
+def _open_trace(args: argparse.Namespace, out_path: str, metrics=None):
     """Open the JSONL trace sink *before* the expensive setup.
 
     Model training takes minutes; a typo'd output path should fail in
@@ -153,7 +182,9 @@ def _open_trace(args: argparse.Namespace, out_path: str):
     from repro.obs import TraceWriter
 
     try:
-        return TraceWriter(out_path, place=args.place, path_name=args.path)
+        return TraceWriter(
+            out_path, place=args.place, path_name=args.path, metrics=metrics
+        )
     except OSError as exc:
         print(f"cannot write trace: {exc}", file=sys.stderr)
         return 2
@@ -176,12 +207,31 @@ def _run_experiment(args: argparse.Namespace) -> int:
     if args.cache_dir:
         set_default_cache(_cache(args))
     experiment = get_experiment(args.place)
-    result = run_experiment(
-        args.place,
-        seed=args.seed if args.seed != 0 else None,
-        n_walks=args.n_walks,
-        workers=args.workers,
-    )
+    telemetry_log = getattr(args, "telemetry", None)
+    if telemetry_log:
+        from repro.obs.telemetry import telemetry_session
+
+        with telemetry_session(telemetry_log, experiment=args.place) as session:
+            session.emitter().emit(
+                "log", "experiment", message=experiment.title
+            )
+            result = run_experiment(
+                args.place,
+                seed=args.seed if args.seed != 0 else None,
+                n_walks=args.n_walks,
+                workers=args.workers,
+            )
+        print(
+            f"wrote {session.writer.n_events} telemetry events "
+            f"to {telemetry_log}\n"
+        )
+    else:
+        result = run_experiment(
+            args.place,
+            seed=args.seed if args.seed != 0 else None,
+            n_walks=args.n_walks,
+            workers=args.workers,
+        )
     print(f"{experiment.name}: {experiment.title}\n")
     print(render_result(experiment, result))
     return 0
@@ -212,6 +262,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                 )
                 return 2
             return _run_experiment(args)
+    if args.path is not None and args.telemetry is not None:
+        print(
+            "--telemetry only applies to experiment runs "
+            "(`repro run <experiment>`)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.path is None:
         print(
             f"{args.place!r} is neither a registered experiment "
             f"(see `repro run --list`) nor was a PATH given",
@@ -342,16 +400,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.eval import run_walk
     from repro.obs import MetricsRegistry, Tracer
 
-    tw = _open_trace(args, args.out)
+    registry = MetricsRegistry()
+    tw = _open_trace(args, args.out, metrics=registry)
     if isinstance(tw, int):
         return tw
-    prepared = _prepare_run(args)
+    prepared = _prepare_run(args, metrics=registry)
     if isinstance(prepared, int):
         _discard_trace(tw, args.out)
         return prepared
     setup, framework, walk, snaps = prepared
     framework.tracer = Tracer()
-    framework.metrics = MetricsRegistry()
+    framework.metrics = registry
     with tw:
         run_walk(framework, setup.place, args.path, walk, snaps, trace=tw)
     print(f"wrote {tw.n_steps} step events to {args.out}\n")
@@ -360,15 +419,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Aggregate a JSONL step trace into a summary table."""
-    from repro.obs import read_trace, render_report, summarize_trace
+    """Aggregate a JSONL step trace into a summary table.
 
+    ``repro report`` is the trace-aggregation view; live fleet runs are
+    inspected with ``repro telemetry`` instead.
+    """
+    from repro.obs import iter_trace, render_report, summarize_trace
+
+    steps = []
+    metrics_payload: dict = {}
     try:
-        meta, steps = read_trace(args.trace)
+        stream = iter_trace(args.trace)
+        meta = next(stream)
+        for event in stream:
+            if event.get("type") == "step":
+                steps.append(event)
+            elif event.get("type") == "metrics":
+                metrics_payload = event.get("metrics", {})
     except (OSError, ValueError) as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
-    print(render_report(summarize_trace(meta, steps)))
+    print(render_report(summarize_trace(meta, steps, metrics=metrics_payload)))
     return 0
 
 
@@ -383,18 +454,41 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.cache_dir:
         set_default_cache(_cache(args))
     metrics = MetricsRegistry()
+    telemetry_note = None
     try:
-        rows = chaos_matrix(
-            seed=args.seed,
-            workers=args.workers,
-            place_name=args.place,
-            path_name=args.path,
-            kind=args.kind,
-            metrics=metrics,
-        )
+        if args.telemetry:
+            from repro.obs.telemetry import telemetry_session
+
+            with telemetry_session(
+                args.telemetry, experiment=f"chaos-{args.kind}"
+            ) as session:
+                rows = chaos_matrix(
+                    seed=args.seed,
+                    workers=args.workers,
+                    place_name=args.place,
+                    path_name=args.path,
+                    kind=args.kind,
+                    metrics=metrics,
+                )
+            telemetry_note = (
+                f"wrote {session.writer.n_events} telemetry events "
+                f"to {args.telemetry}"
+            )
+        else:
+            rows = chaos_matrix(
+                seed=args.seed,
+                workers=args.workers,
+                place_name=args.place,
+                path_name=args.path,
+                kind=args.kind,
+                metrics=metrics,
+            )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
         return 2
+    if telemetry_note and not args.json:
+        # Kept out of --json mode so stdout stays parseable.
+        print(telemetry_note + "\n")
 
     if args.json:
         from dataclasses import asdict
@@ -426,6 +520,94 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     if args.strict and losses:
         return 1
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Inspect a fleet telemetry event log (tail/summary/export)."""
+    from repro.obs.telemetry import (
+        follow_telemetry,
+        format_event,
+        read_telemetry,
+        registry_from_events,
+        render_telemetry_summary,
+        summarize_telemetry,
+    )
+
+    if args.telemetry_command == "tail":
+        try:
+            if args.follow:
+                for event in follow_telemetry(args.log, poll_s=args.poll_s):
+                    print(format_event(event), flush=True)
+                return 0
+            meta, events = read_telemetry(args.log)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read telemetry log: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            return 0
+        print(format_event(meta))
+        shown = events[-args.last :] if args.last > 0 else events
+        for event in shown:
+            print(format_event(event))
+        return 0
+    try:
+        meta, events = read_telemetry(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry log: {exc}", file=sys.stderr)
+        return 2
+    if args.telemetry_command == "summary":
+        print(render_telemetry_summary(summarize_telemetry(meta, events)))
+        return 0
+    if args.telemetry_command == "export":
+        from pathlib import Path
+
+        from repro.obs.exporters import get_exporter
+
+        registry = registry_from_events(events)
+        text = get_exporter(args.format).export(registry)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"wrote {args.format} metrics to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    raise AssertionError(
+        f"unhandled telemetry command {args.telemetry_command!r}"
+    )
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run an experiment under the sampling profiler."""
+    from pathlib import Path
+
+    from repro.eval.registry import EXPERIMENTS, get_experiment, run_experiment
+    from repro.fleet import set_default_cache
+    from repro.obs.profiler import SamplingProfiler
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"see `repro run --list`",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_dir:
+        set_default_cache(_cache(args))
+    experiment = get_experiment(args.experiment)
+    profiler = SamplingProfiler(interval_s=args.interval_ms / 1e3)
+    with profiler:
+        run_experiment(
+            args.experiment,
+            seed=args.seed if args.seed != 0 else None,
+            n_walks=args.n_walks,
+            workers=args.workers,
+        )
+    print(f"{experiment.name}: {experiment.title}\n")
+    print(profiler.render_table(args.top))
+    if args.out:
+        Path(args.out).write_text(profiler.collapsed())
+        print(f"\nwrote collapsed stacks to {args.out}")
     return 0
 
 
@@ -547,6 +729,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"\nno regressions (threshold {args.threshold:.0%}, {args.metric})")
         return 0
+    if args.bench_command == "trend":
+        from pathlib import Path
+
+        from repro.bench.trend import (
+            compute_trends,
+            flag_regressions,
+            load_history,
+            render_csv,
+            render_markdown,
+        )
+
+        history, skipped = load_history(args.reports)
+        for note in skipped:
+            print(f"trend: skipping {note}", file=sys.stderr)
+        if not history:
+            print("no readable bench reports", file=sys.stderr)
+            return 2
+        trends = compute_trends(history)
+        if args.format == "markdown":
+            text = render_markdown(
+                trends, threshold=args.threshold, skipped=skipped
+            )
+        else:
+            text = render_csv(trends)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"wrote trend report to {args.out}")
+        else:
+            print(text, end="")
+        regressions = flag_regressions(trends, args.threshold)
+        if regressions and args.strict:
+            return 1
+        return 0
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
 
 
@@ -606,6 +821,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace", help="also export the JSONL step-telemetry stream here"
     )
+    p_run.add_argument(
+        "--telemetry",
+        metavar="LOG",
+        help="stream the merged fleet telemetry event log here "
+        "(experiment runs only)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_cache = sub.add_parser("cache", help="manage the persistent artifact cache")
@@ -643,10 +864,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.set_defaults(func=cmd_trace)
 
     p_report = sub.add_parser(
-        "report", help="summarize a JSONL step trace (usage, latency, duty cycle)"
+        "report",
+        help="summarize a JSONL step trace (usage, latency, duty cycle, "
+        "I/O counters); see also `telemetry` and `bench trend`",
     )
     p_report.add_argument("trace")
     p_report.set_defaults(func=cmd_report)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect or follow a fleet telemetry event log"
+    )
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    p_tel_tail = tel_sub.add_parser(
+        "tail", help="print recent events, or follow a live run"
+    )
+    p_tel_tail.add_argument("log", help="telemetry event log (JSONL)")
+    p_tel_tail.add_argument(
+        "--last",
+        type=int,
+        default=20,
+        help="events to show (default: 20; 0 = all)",
+    )
+    p_tel_tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events (Ctrl-C stops)",
+    )
+    p_tel_tail.add_argument(
+        "--poll-s",
+        type=float,
+        default=0.5,
+        help="poll interval while following (default: 0.5)",
+    )
+    p_tel_tail.set_defaults(func=cmd_telemetry)
+    p_tel_sum = tel_sub.add_parser(
+        "summary", help="render per-place and per-scheme rollups"
+    )
+    p_tel_sum.add_argument("log", help="telemetry event log (JSONL)")
+    p_tel_sum.set_defaults(func=cmd_telemetry)
+    p_tel_exp = tel_sub.add_parser(
+        "export", help="export the merged metrics (prometheus/jsonl)"
+    )
+    p_tel_exp.add_argument("log", help="telemetry event log (JSONL)")
+    p_tel_exp.add_argument(
+        "--format",
+        choices=["prometheus", "jsonl"],
+        default="prometheus",
+        help="wire format (default: prometheus)",
+    )
+    p_tel_exp.add_argument("--out", help="write here instead of stdout")
+    p_tel_exp.set_defaults(func=cmd_telemetry)
+
+    p_profile = sub.add_parser(
+        "profile", help="run an experiment under the sampling profiler"
+    )
+    p_profile.add_argument(
+        "experiment", help="registered experiment name (see `repro run --list`)"
+    )
+    p_profile.add_argument(
+        "--interval-ms",
+        type=float,
+        default=5.0,
+        help="sampling interval in milliseconds (default: 5)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15, help="hot functions to list (default: 15)"
+    )
+    p_profile.add_argument(
+        "--out", help="write collapsed (flamegraph-ready) stacks here"
+    )
+    p_profile.add_argument(
+        "--workers", type=int, default=None, help="fleet worker processes"
+    )
+    p_profile.add_argument(
+        "--n-walks", type=int, default=None, help="walks to pool"
+    )
+    p_profile.add_argument(
+        "--cache-dir", help="persistent artifact cache directory"
+    )
+    p_profile.set_defaults(func=cmd_profile)
 
     p_survey = sub.add_parser("survey", help="dump a Wi-Fi fingerprint survey")
     p_survey.add_argument("place")
@@ -686,6 +982,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any outage breaks the UniLoc2-beats-survivors shape",
     )
     p_chaos.add_argument("--cache-dir", help="persistent artifact cache directory")
+    p_chaos.add_argument(
+        "--telemetry",
+        metavar="LOG",
+        help="stream the fault/quarantine event log here (replayable "
+        "chaos record)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_lint = sub.add_parser(
@@ -772,6 +1074,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="speedup ratios (machine-independent) or raw p50 (same host)",
     )
     p_bench_cmp.set_defaults(func=cmd_bench)
+    p_bench_trend = bench_sub.add_parser(
+        "trend", help="speedup trajectories across a BENCH_*.json history"
+    )
+    p_bench_trend.add_argument(
+        "reports",
+        nargs="+",
+        help="BENCH_*.json files (non-bench JSON is skipped with a note)",
+    )
+    p_bench_trend.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional drop below best-ever that flags a regression "
+        "(default: 0.25)",
+    )
+    p_bench_trend.add_argument(
+        "--format",
+        choices=["markdown", "csv"],
+        default="markdown",
+        help="report format (default: markdown)",
+    )
+    p_bench_trend.add_argument("--out", help="write here instead of stdout")
+    p_bench_trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any benchmark regressed",
+    )
+    p_bench_trend.set_defaults(func=cmd_bench)
 
     sub.add_parser("tables", help="print energy/latency tables").set_defaults(
         func=cmd_tables

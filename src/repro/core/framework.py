@@ -54,6 +54,7 @@ from repro.core.iodetector import IODetector
 from repro.geometry import Grid, Point
 from repro.obs.clock import monotonic_s
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import NOOP_EMITTER, EventSinkLike
 from repro.obs.tracing import NOOP_TRACER
 from repro.schemes.base import Scheme, SchemeOutput
 from repro.sensors import SensorSnapshot
@@ -177,6 +178,11 @@ class UniLocFramework:
             selections, GPS powering, indoor steps, per-scheme failures
             and quarantines) and — when a recording tracer is attached —
             latency histograms.
+        telemetry: event sink receiving the degradation lifecycle
+            (``fault/contain``, ``quarantine``/``probe``/``release``
+            events with scheme and step IDs) for the cross-process
+            telemetry stream.  The default no-op sink keeps the clean
+            hot path at one attribute lookup, mirroring ``tracer``.
         scheme_timeout_ms: per-step wall-time budget for one scheme's
             ``estimate()``; outputs that arrive later are discarded and
             counted as a ``timeout`` failure (None disables the budget).
@@ -204,6 +210,7 @@ class UniLocFramework:
     location_predictor: object | None = None
     tracer: object = NOOP_TRACER
     metrics: MetricsRegistry | None = None
+    telemetry: EventSinkLike = NOOP_EMITTER
     scheme_timeout_ms: float | None = None
     quarantine_threshold: int = 3
     quarantine_base_steps: int = 8
@@ -431,12 +438,26 @@ class UniLocFramework:
             if self.metrics is not None:
                 self.metrics.counter(f"uniloc.quarantine.skipped.{name}").inc()
             return None
+        # First step after a backoff expires is a probe: one healthy
+        # output releases the scheme, one failure re-quarantines it.
+        probing = (
+            health.quarantines > 0
+            and self._step_index == health.quarantined_until
+        )
+        if probing and self.telemetry.enabled:
+            self.telemetry.emit(
+                "quarantine", "probe", scheme=name, step=self._step_index
+            )
         output, failure = self._guarded_estimate(name, scheme, snapshot, latencies)
         if failure is not None:
             failures[name] = failure
             self._note_failure(name, health, failure)
             return None
         if output is not None:
+            if probing and self.telemetry.enabled:
+                self.telemetry.emit(
+                    "quarantine", "release", scheme=name, step=self._step_index
+                )
             health.note_success()
         return output
 
@@ -502,6 +523,23 @@ class UniLocFramework:
             self.quarantine_base_steps,
             self.quarantine_max_steps,
         )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault",
+                "contain",
+                scheme=name,
+                step=self._step_index,
+                failure=kind,
+            )
+            if entered:
+                self.telemetry.emit(
+                    "quarantine",
+                    "quarantine",
+                    scheme=name,
+                    step=self._step_index,
+                    until=health.quarantined_until,
+                    quarantines=health.quarantines,
+                )
         if self.metrics is None:
             return
         self.metrics.counter(f"uniloc.faults.{name}.{kind}").inc()

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan, SchemeFault, SensorFault
 from repro.geometry import Point
+from repro.obs.telemetry import NOOP_EMITTER, EventSinkLike
 from repro.schemes.base import LocalizationScheme, Scheme, SchemeOutput
 from repro.sensors import SensorSnapshot
 from repro.sensors.gps import GpsStatus
@@ -53,11 +54,15 @@ class FaultyScheme(LocalizationScheme):
         inner: Scheme,
         plan: FaultPlan,
         faults: tuple[tuple[int, SchemeFault], ...],
+        telemetry: EventSinkLike = NOOP_EMITTER,
     ) -> None:
         self.inner = inner
         self.name = inner.name
         self.plan = plan
         self.faults = faults
+        #: Sink for ``fault/inject`` events (every fired fault, hangs
+        #: included) so a chaos run is replayable from the event log.
+        self.telemetry = telemetry
         #: How many calls a fault decided (for assertions and reports).
         self.n_injected = 0
 
@@ -66,6 +71,14 @@ class FaultyScheme(LocalizationScheme):
         for index, fault in self.faults:
             if not self.plan.fires(index, fault, step):
                 continue
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "fault",
+                    "inject",
+                    scheme=self.name,
+                    step=step,
+                    fault_kind=fault.kind,
+                )
             if fault.kind == "hang":
                 time.sleep(fault.delay_ms / 1e3)
                 continue

@@ -207,7 +207,9 @@ class FaultPlan:
         for name, bundle in framework.bundles.items():
             faults = self.faults_for(name)
             if faults:
-                bundle.scheme = FaultyScheme(bundle.scheme, self, faults)
+                bundle.scheme = FaultyScheme(
+                    bundle.scheme, self, faults, telemetry=framework.telemetry
+                )
 
     def corrupt(self, snapshots: list[SensorSnapshot]) -> list[SensorSnapshot]:
         """Return the snapshot trace with all sensor faults applied."""

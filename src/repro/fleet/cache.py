@@ -154,7 +154,10 @@ class ArtifactCache:
             ``fleet.cache.hit`` / ``fleet.cache.miss`` spans plus one
             span per expensive rebuild (``fleet.train_error_models``,
             ``fleet.survey_place``) so a trace proves what was skipped.
-        metrics: optional registry counting hits/misses.
+        metrics: optional registry counting hits/misses plus the disk
+            layer's I/O (``fleet.cache.io.read_bytes`` /
+            ``io.write_bytes`` / ``io.reads`` / ``io.writes`` counters
+            and ``io.read_ms`` / ``io.write_ms`` latency histograms).
     """
 
     def __init__(
@@ -175,6 +178,30 @@ class ArtifactCache:
             self.metrics.counter(f"fleet.cache.{outcome}").inc()
         with self.tracer.span(f"fleet.cache.{outcome}", artifact=artifact, key=key):
             pass
+
+    def _timed_read(self, path: Path, loader: Callable[[Path], Any]) -> Any:
+        """Run one disk load, counting bytes and latency when metered."""
+        if self.metrics is None:
+            return loader(path)
+        with self.metrics.timer("fleet.cache.io.read_ms"):
+            value = loader(path)
+        self.metrics.counter("fleet.cache.io.read_bytes").inc(
+            path.stat().st_size
+        )
+        self.metrics.counter("fleet.cache.io.reads").inc()
+        return value
+
+    def _timed_write(self, path: Path, write: Callable[[], None]) -> None:
+        """Run one disk store, counting bytes and latency when metered."""
+        if self.metrics is None:
+            write()
+            return
+        with self.metrics.timer("fleet.cache.io.write_ms"):
+            write()
+        self.metrics.counter("fleet.cache.io.write_bytes").inc(
+            path.stat().st_size
+        )
+        self.metrics.counter("fleet.cache.io.writes").inc()
 
     def _path_for(self, artifact: str, key: str) -> Path | None:
         if self.root is None:
@@ -204,7 +231,7 @@ class ArtifactCache:
             return self._memo[memo_key]
         path = self._path_for("error_models", key)
         if path is not None and path.exists():
-            models = load_error_models(path)
+            models = self._timed_read(path, load_error_models)
             self._memo[memo_key] = models
             self._record("hit", "error_models", key)
             return models
@@ -232,7 +259,7 @@ class ArtifactCache:
         path = self._path_for("error_models", key)
         if path is not None:
             self._ensure_root()
-            save_error_models(models, path)
+            self._timed_write(path, lambda: save_error_models(models, path))
 
     # -- place setups ------------------------------------------------------
 
@@ -282,16 +309,14 @@ class ArtifactCache:
         path = self._path_for("place_setup", key)
         if path is not None:
             self._ensure_root()
-            _write(
-                path,
-                {
-                    **format_header("place_setup", FORMAT_VERSION),
-                    "place": place_name,
-                    "seed": setup.seed,
-                    "wifi": fingerprints_to_entries(setup.wifi_db),
-                    "cell": fingerprints_to_entries(setup.cell_db),
-                },
-            )
+            payload = {
+                **format_header("place_setup", FORMAT_VERSION),
+                "place": place_name,
+                "seed": setup.seed,
+                "wifi": fingerprints_to_entries(setup.wifi_db),
+                "cell": fingerprints_to_entries(setup.cell_db),
+            }
+            self._timed_write(path, lambda: _write(path, payload))
 
     def _load_setup(
         self, path: Path, place_name: str, seed: int
@@ -300,7 +325,7 @@ class ArtifactCache:
         from repro.persistence import _read, fingerprints_from_entries
         from repro.radio import RadioEnvironment
 
-        payload = _read(path, "place_setup")
+        payload = self._timed_read(path, lambda p: _read(p, "place_setup"))
         place = _builders()[place_name]()
         # Mirrors PlaceSetup.create exactly, minus the (cached) survey.
         radio = RadioEnvironment.deploy(place, seed=seed)

@@ -20,9 +20,18 @@ the offline artifacts (place setups, error models) from the
 :class:`~repro.fleet.cache.ArtifactCache` — with a persistent cache
 directory a worker never trains or surveys anything.
 
-Per-worker :mod:`repro.obs` metrics are snapshotted in the worker,
-shipped back with each result, and folded into the single registry the
-caller passed, so observability survives the process fan-out.
+Observability survives the process fan-out two ways.  Without a
+telemetry session, per-worker :mod:`repro.obs` metrics are snapshotted
+in the worker, shipped back with each result, and folded into the
+single registry the caller passed (the historical path).  With a
+:class:`~repro.obs.telemetry.TelemetrySession` active — passed
+explicitly or installed process-wide via
+:func:`~repro.obs.telemetry.telemetry_session` — workers instead
+*stream* job lifecycle, span, fault/quarantine, and metric-delta events
+to per-worker spool files which the parent tails and merges into one
+run log **live**, folding the metric deltas into the caller's registry
+through the same ``merge_snapshot`` semantics, so both paths produce
+byte-identical registries.
 
 Worker death is survivable: when a worker process dies hard (OOM kill,
 segfault, an injected :class:`~repro.faults.plan.FaultPlan` kill), the
@@ -48,7 +57,16 @@ from typing import TYPE_CHECKING, Any, Iterator
 import numpy as np
 
 from repro.fleet.cache import ArtifactCache, default_cache
+from repro.obs.clock import monotonic_s
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    EventEmitter,
+    EventSinkLike,
+    TelemetrySession,
+    TelemetrySpool,
+    WorkerTelemetry,
+    current_session,
+)
 from repro.obs.tracing import NOOP_TRACER, TracerLike
 from repro.sensors import NEXUS_5X, DeviceProfile
 
@@ -195,8 +213,18 @@ def _compact_result(result: Any) -> Any:
     return result
 
 
-def execute_job(job: WalkJob, cache: ArtifactCache) -> Any:
-    """Run one walk job to a scored ``WalkResult`` (in this process)."""
+def execute_job(
+    job: WalkJob,
+    cache: ArtifactCache,
+    telemetry: EventSinkLike | None = None,
+) -> Any:
+    """Run one walk job to a scored ``WalkResult`` (in this process).
+
+    When ``telemetry`` is given, it is attached to the framework before
+    the fault plan is applied, so both the framework's degradation
+    lifecycle (contain/quarantine/probe/release) and the injectors'
+    ``fault/inject`` events land in the stream.
+    """
     from repro.eval.runner import run_walk
     from repro.eval.setup import build_framework
     from repro.geometry import Point
@@ -229,6 +257,8 @@ def execute_job(job: WalkJob, cache: ArtifactCache) -> Any:
     # Degradation/fault telemetry flows into whatever registry the
     # caller (or the per-worker snapshot machinery) attached to the cache.
     framework.metrics = cache.metrics
+    if telemetry is not None:
+        framework.telemetry = telemetry
     if job.fault_plan is not None:
         job.fault_plan.apply(framework)
         snaps = job.fault_plan.corrupt(snaps)
@@ -252,21 +282,55 @@ def _die_once(marker: str) -> None:
     os._exit(86)
 
 
-def _execute_in_worker(job: WalkJob) -> tuple[Any, dict[str, Any]]:
-    """Pool entry point: run a job and snapshot this worker's metrics."""
+def _execute_in_worker(
+    job: WalkJob, spec: WorkerTelemetry | None = None
+) -> tuple[Any, dict[str, Any]]:
+    """Pool entry point: run a job and report this worker's metrics.
+
+    Without a telemetry ``spec`` the metric snapshot rides back on the
+    return value (the historical path).  With one, everything — job
+    lifecycle edges, a ``fleet.walk`` span, fault/quarantine events from
+    the framework, and the metric snapshot as per-name deltas — is
+    spooled for the parent to tail, and the returned snapshot is empty
+    so nothing is counted twice.
+    """
     if job.fault_plan is not None and job.fault_plan.worker_death_marker:
         _die_once(job.fault_plan.worker_death_marker)
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else default_cache()
     metrics = MetricsRegistry()
+    spool: TelemetrySpool | None = None
+    emitter: EventEmitter | None = None
+    if spec is not None:
+        spool = TelemetrySpool(spec.spool_root)
+        emitter = spool.emitter(spec)
+        emitter.emit(
+            "job", "started", place=job.place_name, path=job.path_name
+        )
     previous = cache.metrics
     cache.metrics = metrics
+    start_s = monotonic_s()
     try:
-        result = execute_job(job, cache)
+        result = execute_job(job, cache, telemetry=emitter)
+    except BaseException as exc:
+        if emitter is not None and spool is not None:
+            emitter.emit("job", "error", error=f"{type(exc).__name__}: {exc}")
+            spool.close()
+        raise
     finally:
         cache.metrics = previous
     metrics.counter("fleet.walks").inc()
     metrics.counter("fleet.steps").inc(len(result.records))
     metrics.gauge("fleet.worker_pid").set(os.getpid())
+    if emitter is not None and spool is not None:
+        emitter.emit(
+            "span",
+            "fleet.walk",
+            duration_ms=(monotonic_s() - start_s) * 1e3,
+        )
+        emitter.emit("job", "finished", steps=len(result.records))
+        emitter.emit_snapshot(metrics.snapshot())
+        spool.close()
+        return result, {}
     return result, metrics.snapshot()
 
 
@@ -297,6 +361,7 @@ def iter_walks(
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: TracerLike = NOOP_TRACER,
+    telemetry: TelemetrySession | None = None,
 ) -> Iterator[tuple[int, Any]]:
     """Execute jobs and yield ``(job_index, result)`` as walks finish.
 
@@ -318,21 +383,53 @@ def iter_walks(
         cache: artifact cache; defaults to the process-wide cache.
         metrics: registry that absorbs every worker's metric snapshot.
         tracer: span recorder for the dispatch path.
+        telemetry: session to stream job/span/fault/metric events
+            through; defaults to the process-wide session installed by
+            :func:`~repro.obs.telemetry.telemetry_session` (None = no
+            streaming, historical snapshot path).
     """
     cache = cache if cache is not None else default_cache()
+    session = telemetry if telemetry is not None else current_session()
     if workers <= 1 or len(jobs) <= 1:
         for index, job in enumerate(jobs):
+            emitter: EventEmitter | None = None
+            job_metrics = metrics
+            if session is not None:
+                emitter = session.emitter(
+                    job_id=session.job_id(index), walk_seed=job.walk_seed
+                )
+                emitter.emit(
+                    "job", "started", place=job.place_name, path=job.path_name
+                )
+                # Per-job registry even inline, so the stream carries the
+                # same per-name deltas a pool worker would spool.
+                job_metrics = MetricsRegistry()
+            start_s = monotonic_s()
             with tracer.span("fleet.walk", index=index, path=job.path_name):
                 previous = cache.metrics
-                if metrics is not None:
-                    cache.metrics = metrics
+                if job_metrics is not None:
+                    cache.metrics = job_metrics
                 try:
-                    result = execute_job(job, cache)
+                    result = execute_job(job, cache, telemetry=emitter)
+                except BaseException:
+                    if emitter is not None:
+                        emitter.emit("job", "error")
+                    raise
                 finally:
                     cache.metrics = previous
-            if metrics is not None:
-                metrics.counter("fleet.walks").inc()
-                metrics.counter("fleet.steps").inc(len(result.records))
+            if job_metrics is not None:
+                job_metrics.counter("fleet.walks").inc()
+                job_metrics.counter("fleet.steps").inc(len(result.records))
+            if emitter is not None and job_metrics is not None:
+                emitter.emit(
+                    "span",
+                    "fleet.walk",
+                    duration_ms=(monotonic_s() - start_s) * 1e3,
+                )
+                emitter.emit("job", "finished", steps=len(result.records))
+                emitter.emit_snapshot(job_metrics.snapshot())
+                if metrics is not None and metrics is not job_metrics:
+                    metrics.merge_snapshot(job_metrics.snapshot())
             yield index, result
         return
 
@@ -352,7 +449,13 @@ def iter_walks(
             ) as pool:
                 with tracer.span("fleet.dispatch", jobs=len(queue), workers=workers):
                     pending = {
-                        pool.submit(_execute_in_worker, jobs[index]): index
+                        pool.submit(
+                            _execute_in_worker,
+                            jobs[index],
+                            None
+                            if session is None
+                            else session.worker_spec(index, jobs[index].walk_seed),
+                        ): index
                         for index in queue
                     }
                 broken = False
@@ -389,6 +492,10 @@ def iter_walks(
                             if metrics is not None:
                                 metrics.merge_snapshot(snapshot)
                             yield index, result
+                    if session is not None:
+                        # Live merge: tail the worker spools while other
+                        # futures are still in flight.
+                        session.drain(metrics)
             queue = []
             for index in sorted(crashed):
                 if metrics is not None:
@@ -408,6 +515,10 @@ def iter_walks(
                     if metrics is not None:
                         metrics.counter("fleet.jobs_retried").inc()
                     queue.append(index)
+        if session is not None:
+            # Workers have exited; pick up whatever flushed after the
+            # last in-loop drain.
+            session.drain(metrics)
     finally:
         _WORKER_CACHE = None
 
@@ -419,6 +530,7 @@ def run_walks(
     metrics: MetricsRegistry | None = None,
     tracer: TracerLike = NOOP_TRACER,
     on_failure: str = "raise",
+    telemetry: TelemetrySession | None = None,
 ) -> list[Any]:
     """Execute jobs (optionally in parallel) and return results in job order.
 
@@ -431,6 +543,8 @@ def run_walks(
         cache: artifact cache; defaults to the process-wide cache.
         metrics: registry that absorbs every worker's metric snapshot.
         tracer: span recorder for the dispatch path.
+        telemetry: session to stream events through; defaults to the
+            process-wide session (see :func:`iter_walks`).
         on_failure: ``"raise"`` (default) raises :class:`FleetError`
             when any job failed — the exception still carries the full
             partial result list — while ``"return"`` leaves each
@@ -446,7 +560,12 @@ def run_walks(
     results: list[Any] = [None] * len(jobs)
     failures: list[WalkFailure] = []
     for index, result in iter_walks(
-        jobs, workers=workers, cache=cache, metrics=metrics, tracer=tracer
+        jobs,
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        tracer=tracer,
+        telemetry=telemetry,
     ):
         results[index] = result
         if isinstance(result, WalkFailure):

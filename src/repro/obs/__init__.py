@@ -1,13 +1,22 @@
-"""Observability: metrics, tracing, step-trace export, and reporting.
+"""Observability: metrics, tracing, telemetry streaming, and reporting.
 
 The layer is dependency-free (standard library only) and designed so
 instrumentation can stay permanently wired into the hot paths:
-:data:`NOOP_TRACER` is the default everywhere and its disabled span
-costs one attribute lookup.  See README's "Observability" section for
-the JSONL trace schema and CLI workflow.
+:data:`NOOP_TRACER` and :data:`NOOP_EMITTER` are the defaults
+everywhere and their disabled calls cost one attribute lookup.  See
+README's "Observability" section for the JSONL trace/telemetry schemas
+and CLI workflow.
 """
 
 from repro.obs import clock
+from repro.obs.exporters import (
+    EXPORTERS,
+    Exporter,
+    JsonlExporter,
+    PrometheusExporter,
+    get_exporter,
+    prometheus_name,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -16,11 +25,41 @@ from repro.obs.metrics import (
     Timer,
     percentile,
 )
+from repro.obs.profiler import (
+    HotFunction,
+    SamplingProfiler,
+    profile_callable,
+)
 from repro.obs.report import (
     SchemeSummary,
     TraceSummary,
     render_report,
     summarize_trace,
+)
+from repro.obs.telemetry import (
+    NOOP_EMITTER,
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    EventContext,
+    EventEmitter,
+    EventSinkLike,
+    NoopEmitter,
+    TelemetrySession,
+    TelemetrySpool,
+    TelemetryWriter,
+    WorkerTelemetry,
+    apply_metric_event,
+    current_session,
+    fault_timeline,
+    follow_telemetry,
+    format_event,
+    iter_telemetry,
+    read_telemetry,
+    registry_from_events,
+    render_telemetry_summary,
+    set_session,
+    summarize_telemetry,
+    telemetry_session,
 )
 from repro.obs.trace_log import (
     TRACE_FORMAT,
@@ -34,27 +73,59 @@ from repro.obs.trace_log import (
 from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer, TracerLike
 
 __all__ = [
+    "EXPORTERS",
+    "NOOP_EMITTER",
     "NOOP_TRACER",
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "Counter",
-    "clock",
+    "EventContext",
+    "EventEmitter",
+    "EventSinkLike",
+    "Exporter",
     "Gauge",
     "Histogram",
+    "HotFunction",
+    "JsonlExporter",
     "MetricsRegistry",
+    "NoopEmitter",
     "NoopTracer",
+    "PrometheusExporter",
+    "SamplingProfiler",
     "SchemeSummary",
     "Span",
+    "TelemetrySession",
+    "TelemetrySpool",
+    "TelemetryWriter",
     "Timer",
     "TraceSummary",
     "TraceWriter",
     "Tracer",
     "TracerLike",
+    "WorkerTelemetry",
+    "apply_metric_event",
+    "clock",
+    "current_session",
     "decision_from_dict",
     "decision_to_dict",
+    "fault_timeline",
+    "follow_telemetry",
+    "format_event",
+    "get_exporter",
+    "iter_telemetry",
     "iter_trace",
     "percentile",
+    "profile_callable",
+    "prometheus_name",
+    "read_telemetry",
     "read_trace",
+    "registry_from_events",
     "render_report",
+    "render_telemetry_summary",
+    "set_session",
+    "summarize_telemetry",
     "summarize_trace",
+    "telemetry_session",
 ]

@@ -1,0 +1,212 @@
+"""Deterministic-overhead sampling profiler for ``repro profile``.
+
+A classic sampling profiler interrupts the process on a wall-clock
+timer; that is cheap but non-deterministic, which collides with this
+repo's testing philosophy.  This one instead rides Python's profiling
+hook (:func:`sys.setprofile`): on every call/return event it reads a
+**tick source** and takes a stack sample whenever at least
+``interval_s`` has elapsed since the last sample.  Two properties fall
+out:
+
+1. With the default tick (the sanctioned
+   :func:`repro.obs.clock.monotonic_s`) it behaves like a normal
+   ~5 ms sampling profiler — overhead is one clock read per call edge.
+2. With a *scripted* tick source (any zero-arg callable) the sample
+   points are a pure function of the call sequence, so tests assert
+   collapsed-stack output byte-for-byte instead of statistically.
+
+Output formats:
+
+* :meth:`SamplingProfiler.collapsed` — folded stacks
+  (``outer;inner;leaf <count>``), the input format of every flamegraph
+  renderer since Brendan Gregg's original ``flamegraph.pl``.
+* :meth:`SamplingProfiler.hot_functions` /
+  :meth:`~SamplingProfiler.render_table` — a self/total sample table,
+  the textual twin ``repro profile`` prints alongside the bench
+  subsystem's timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from types import FrameType
+from typing import Any, Callable
+
+from repro.obs.clock import monotonic_s
+
+#: Default sampling interval: ~200 Hz, the usual flamegraph resolution.
+DEFAULT_INTERVAL_S = 0.005
+
+#: Profiler-hook events that can trigger a sample.
+_SAMPLED_EVENTS = frozenset(("call", "return", "c_call", "c_return"))
+
+
+def frame_label(code: Any) -> str:
+    """Return the ``module.function`` label for one code object."""
+    return f"{Path(code.co_filename).stem}.{code.co_name}"
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One row of the hot-function table.
+
+    ``self_samples`` counts samples whose *leaf* frame was this
+    function; ``total_samples`` counts samples with the function
+    anywhere on the stack (recursion counted once per sample).
+    """
+
+    function: str
+    self_samples: int
+    total_samples: int
+
+    def share(self, n_samples: int) -> float:
+        """Return this function's self-sample share of the run."""
+        return self.self_samples / n_samples if n_samples else 0.0
+
+
+class SamplingProfiler:
+    """Samples Python stacks on call edges at a tick-defined cadence.
+
+    Args:
+        interval_s: minimum tick-time between two samples.
+        tick: zero-arg time source; defaults to the injectable
+            monotonic clock.  Tests pass a scripted ramp to make the
+            sample schedule (and therefore the output) deterministic.
+        max_depth: stack frames kept per sample (deeper frames are
+            dropped from the root side).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        tick: Callable[[], float] | None = None,
+        max_depth: int = 64,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self._tick = tick if tick is not None else monotonic_s
+        self._counts: dict[tuple[str, ...], int] = {}
+        self._last = 0.0
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the profiling hook (samples accumulate from here).
+
+        Raises:
+            RuntimeError: if the profiler is already running.
+        """
+        if self._running:
+            raise RuntimeError("profiler is already running")
+        self._running = True
+        self._last = self._tick()
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        """Remove the profiling hook (idempotent)."""
+        sys.setprofile(None)
+        self._running = False
+
+    def __enter__(self) -> SamplingProfiler:
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _hook(self, frame: FrameType, event: str, arg: Any) -> None:
+        if event not in _SAMPLED_EVENTS:
+            return
+        now = self._tick()
+        if now - self._last < self.interval_s:
+            return
+        self._last = now
+        self._record(frame)
+
+    def _record(self, frame: FrameType | None) -> None:
+        stack: list[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            if code.co_filename != __file__:  # skip profiler internals
+                stack.append(frame_label(code))
+                depth += 1
+            frame = frame.f_back
+        if not stack:
+            return
+        stack.reverse()  # root first, flamegraph convention
+        key = tuple(stack)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    # -- readouts ----------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Return the number of stack samples taken."""
+        return sum(self._counts.values())
+
+    def collapsed(self) -> str:
+        """Return folded-stack lines (``a;b;c N``), sorted by stack."""
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(self._counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def hot_functions(self, top: int | None = None) -> list[HotFunction]:
+        """Return functions ranked by self samples (ties: total, name)."""
+        self_counts: dict[str, int] = {}
+        total_counts: dict[str, int] = {}
+        for stack, count in self._counts.items():
+            leaf = stack[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+            for function in set(stack):
+                total_counts[function] = total_counts.get(function, 0) + count
+        ranked = sorted(
+            (
+                HotFunction(
+                    function=function,
+                    self_samples=self_counts.get(function, 0),
+                    total_samples=total,
+                )
+                for function, total in total_counts.items()
+            ),
+            key=lambda hot: (-hot.self_samples, -hot.total_samples, hot.function),
+        )
+        return ranked[:top] if top is not None else ranked
+
+    def render_table(self, top: int = 15) -> str:
+        """Return the hot-function table ``repro profile`` prints."""
+        n = self.n_samples
+        lines = [
+            f"{n} samples, interval {self.interval_s * 1e3:g} ms",
+            "",
+            f"{'self':>6s} {'self%':>7s} {'total':>6s}  function",
+        ]
+        for hot in self.hot_functions(top):
+            lines.append(
+                f"{hot.self_samples:6d} {hot.share(n):7.1%} "
+                f"{hot.total_samples:6d}  {hot.function}"
+            )
+        return "\n".join(lines)
+
+
+def profile_callable(
+    fn: Callable[[], Any],
+    interval_s: float = DEFAULT_INTERVAL_S,
+    tick: Callable[[], float] | None = None,
+) -> tuple[Any, SamplingProfiler]:
+    """Run ``fn`` under a fresh profiler; returns ``(result, profiler)``."""
+    profiler = SamplingProfiler(interval_s=interval_s, tick=tick)
+    with profiler:
+        result = fn()
+    return result, profiler

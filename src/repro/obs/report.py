@@ -53,6 +53,9 @@ class TraceSummary:
     tau: Histogram
     uniloc1_errors: Histogram
     uniloc2_errors: Histogram
+    #: The trace's trailing ``{"type": "metrics"}`` payload, when the
+    #: producer metered its I/O (``MetricsRegistry.as_dict()`` shape).
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def gps_duty_cycle(self) -> float:
@@ -73,9 +76,16 @@ class TraceSummary:
 
 
 def summarize_trace(
-    meta: dict[str, Any], steps: list[dict[str, Any]]
+    meta: dict[str, Any],
+    steps: list[dict[str, Any]],
+    metrics: dict[str, Any] | None = None,
 ) -> TraceSummary:
-    """Aggregate the step events of one trace (see :func:`read_trace`)."""
+    """Aggregate the step events of one trace (see :func:`read_trace`).
+
+    ``metrics`` is the optional trailing metrics payload a metered
+    :class:`~repro.obs.trace_log.TraceWriter` appends; pass it through
+    so :func:`render_report` can print the I/O counters.
+    """
     schemes: dict[str, SchemeSummary] = {}
     tau = Histogram()
     uniloc1_errors = Histogram()
@@ -123,6 +133,7 @@ def summarize_trace(
         tau=tau,
         uniloc1_errors=uniloc1_errors,
         uniloc2_errors=uniloc2_errors,
+        metrics=dict(metrics) if metrics else {},
     )
 
 
@@ -169,4 +180,23 @@ def render_report(summary: TraceSummary) -> str:
                 f"p50 {hist.percentile(50):.2f} m   "
                 f"p90 {hist.percentile(90):.2f} m"
             )
+    io_metrics = {
+        name: value
+        for name, value in sorted(summary.metrics.items())
+        if ".io." in name
+    }
+    if io_metrics:
+        lines.append("")
+        lines.append("I/O counters:")
+        for name, value in io_metrics.items():
+            if isinstance(value, dict):
+                count = int(value.get("count", 0))
+                if count:
+                    lines.append(
+                        f"  {name:28s} n={count:<6d} "
+                        f"p50 {value.get('p50', 0.0):.3f} ms  "
+                        f"p90 {value.get('p90', 0.0):.3f} ms"
+                    )
+            else:
+                lines.append(f"  {name:28s} {value:g}")
     return "\n".join(lines)

@@ -25,9 +25,12 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import IO, Any, Iterator
+from typing import IO, TYPE_CHECKING, Any, Iterator
 
 from repro.formats import UnsupportedFormatError, check_header, format_header
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 TRACE_FORMAT = "uniloc_trace"
 TRACE_VERSION = 1
@@ -145,12 +148,25 @@ class TraceWriter:
         with TraceWriter(path, place="daily", path_name="path1") as trace:
             decision = framework.step(snapshot)
             trace.write_step(decision, index=i, time_s=snapshot.time_s)
+
+    With a ``metrics`` registry attached the writer meters its own I/O
+    (``uniloc.trace.io.write_bytes`` / ``io.events`` counters and an
+    ``io.write_ms`` latency histogram) and appends one trailing
+    ``{"type": "metrics", ...}`` event on close so the registry's final
+    state rides inside the trace file itself.  Readers that only want
+    steps (:func:`read_trace`) skip it; the format version stays 1
+    because trailing non-step events are additive.
     """
 
     def __init__(
-        self, path: str | Path, place: str = "", path_name: str = ""
+        self,
+        path: str | Path,
+        place: str = "",
+        path_name: str = "",
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.path = Path(path)
+        self.metrics = metrics
         self._fh: IO[str] | None = self.path.open("w")
         self.n_steps = 0
         self.write_event(
@@ -170,7 +186,16 @@ class TraceWriter:
         """
         if self._fh is None:
             raise ValueError(f"trace writer for {self.path} is closed")
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        if self.metrics is None:
+            self._fh.write(line)
+            return
+        with self.metrics.timer("uniloc.trace.io.write_ms"):
+            self._fh.write(line)
+        self.metrics.counter("uniloc.trace.io.write_bytes").inc(
+            len(line.encode("utf-8"))
+        )
+        self.metrics.counter("uniloc.trace.io.events").inc()
 
     def write_step(
         self,
@@ -207,8 +232,20 @@ class TraceWriter:
         self.n_steps += 1
 
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
+        """Flush and close the underlying file (idempotent).
+
+        When metered, a final ``{"type": "metrics"}`` event is appended
+        first so the trace carries its own registry state.
+        """
         if self._fh is not None:
+            if self.metrics is not None:
+                self._fh.write(
+                    json.dumps(
+                        {"type": "metrics", "metrics": self.metrics.as_dict()},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
             self._fh.close()
             self._fh = None
 

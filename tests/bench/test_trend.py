@@ -1,0 +1,116 @@
+"""Tests for bench history trends and regression flagging."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    Timing,
+    compute_trends,
+    flag_regressions,
+    load_history,
+    render_csv,
+    render_markdown,
+)
+
+
+def _report(created_at, **speedups) -> BenchReport:
+    """Build a report whose speedups equal the given per-bench ratios."""
+    results = {}
+    for bench, speedup in speedups.items():
+        results[f"{bench}.scalar"] = Timing(
+            p50_ms=float(speedup), p90_ms=float(speedup) * 1.2, n_iterations=5
+        )
+        results[f"{bench}.kernel"] = Timing(p50_ms=1.0, p90_ms=1.2, n_iterations=5)
+    return BenchReport(
+        place="office", seed=0, created_at=created_at, results=results
+    )
+
+
+def _history_dir(tmp_path):
+    """Write a three-report history with a regression injected last."""
+    specs = [
+        ("BENCH_2026-01-01.json", _report(100.0, shadowing=10.0, nearest=4.0)),
+        ("BENCH_2026-02-01.json", _report(200.0, shadowing=12.0, nearest=4.2)),
+        # shadowing collapses to 5x: a synthetic injected regression.
+        ("BENCH_2026-03-01.json", _report(300.0, shadowing=5.0, nearest=4.1)),
+    ]
+    paths = []
+    for name, report in specs:
+        path = tmp_path / name
+        report.save(path)
+        paths.append(path)
+    return paths
+
+
+def test_load_history_orders_by_created_at_and_skips_foreign_json(tmp_path):
+    paths = _history_dir(tmp_path)
+    suite = tmp_path / "BENCH_2026-03-01-suite.json"
+    suite.write_text(json.dumps({"machine_info": {}, "benchmarks": []}))
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    # Deliberately shuffled input order; created_at drives the output.
+    history, skipped = load_history([paths[2], broken, paths[0], suite, paths[1]])
+    assert [source for source, _ in history] == [
+        "BENCH_2026-01-01.json",
+        "BENCH_2026-02-01.json",
+        "BENCH_2026-03-01.json",
+    ]
+    assert len(skipped) == 2
+    assert any("not a bench report" in note for note in skipped)
+    assert any("unreadable" in note for note in skipped)
+
+
+def test_compute_trends_builds_per_bench_trajectories(tmp_path):
+    history, _ = load_history(_history_dir(tmp_path))
+    trends = {t.bench: t for t in compute_trends(history)}
+    assert set(trends) == {"shadowing", "nearest"}
+    shadowing = trends["shadowing"]
+    assert [p.speedup for p in shadowing.points] == [10.0, 12.0, 5.0]
+    assert shadowing.first.speedup == 10.0
+    assert shadowing.best.speedup == 12.0
+    assert shadowing.latest.speedup == 5.0
+    assert shadowing.best.source == "BENCH_2026-02-01.json"
+
+
+def test_flag_regressions_catches_injected_regression(tmp_path):
+    history, _ = load_history(_history_dir(tmp_path))
+    trends = compute_trends(history)
+    flags = flag_regressions(trends, threshold=0.25)
+    assert len(flags) == 1
+    assert flags[0].startswith("shadowing:")
+    assert "5.0x" in flags[0]
+    # A wide-enough threshold tolerates the drop.
+    assert flag_regressions(trends, threshold=0.99) == []
+    with pytest.raises(ValueError, match="non-negative"):
+        flag_regressions(trends, threshold=-0.1)
+
+
+def test_render_markdown_table_and_flags(tmp_path):
+    history, skipped = load_history(
+        _history_dir(tmp_path) + [tmp_path / "missing.json"]
+    )
+    trends = compute_trends(history)
+    text = render_markdown(trends, threshold=0.25, skipped=skipped)
+    lines = text.splitlines()
+    assert lines[0].startswith("### Bench speedup trends (3 report(s)")
+    assert "| benchmark | first | best | latest | vs best | status |" in lines
+    assert "| shadowing | 10.0x | 12.0x | 5.0x | -58% | regressed |" in lines
+    assert "| nearest | 4.0x | 4.2x | 4.1x | -2% | ok |" in lines
+    assert any(line.startswith("- **shadowing:") for line in lines)
+    assert any("skipped missing.json" in line for line in lines)
+
+
+def test_render_markdown_empty_history():
+    assert render_markdown([]) == "no bench history to report\n"
+
+
+def test_render_csv_long_format(tmp_path):
+    history, _ = load_history(_history_dir(tmp_path))
+    text = render_csv(compute_trends(history))
+    lines = text.splitlines()
+    assert lines[0] == "bench,source,created_at,speedup"
+    assert "shadowing,BENCH_2026-03-01.json,300.000,5.000" in lines
+    # 2 benches x 3 reports = 6 data rows.
+    assert len(lines) == 7

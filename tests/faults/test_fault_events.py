@@ -1,0 +1,79 @@
+"""Fault/quarantine lifecycle events through the telemetry stream."""
+
+from collections import Counter
+
+from repro.eval.runner import run_walk
+from repro.faults import FaultPlan
+from repro.obs.telemetry import EventContext, EventEmitter, fault_timeline
+
+
+def _streamed_walk(office_system, office_framework, plan):
+    sys = office_system
+    written = []
+    office_framework.telemetry = EventEmitter(
+        written.append, EventContext(run_id="r", job_id="job-0000")
+    )
+    plan.apply(office_framework)
+    result = run_walk(
+        office_framework, sys["setup"].place, "survey", sys["walk"], sys["snaps"]
+    )
+    return result, written
+
+
+def test_permanent_crash_streams_full_lifecycle(office_system, office_framework):
+    plan = FaultPlan.scheme_outage("wifi", kind="crash", seed=5)
+    result, events = _streamed_walk(office_system, office_framework, plan)
+    kinds = Counter((e["kind"], e["name"]) for e in events)
+    # Every injection is contained; repeat failures enter quarantine;
+    # backoff expiry probes the scheme (and the permanent crash fails
+    # the probe, so no release ever fires).
+    assert kinds[("fault", "inject")] == kinds[("fault", "contain")] > 0
+    assert kinds[("quarantine", "quarantine")] >= 1
+    assert kinds[("quarantine", "probe")] >= 1
+    assert kinds[("quarantine", "release")] == 0
+    # The walk itself still completes (graceful degradation).
+    assert result.errors("uniloc2")
+
+
+def test_windowed_crash_streams_probe_then_release(office_system, office_framework):
+    from repro.faults.plan import SchemeFault
+
+    # Crash for the first few steps only; once the fault window closes,
+    # the first probe succeeds and releases the scheme.
+    plan = FaultPlan(
+        seed=5,
+        scheme_faults=(
+            SchemeFault(scheme="wifi", kind="crash", start_step=0, end_step=4),
+        ),
+    )
+    _, events = _streamed_walk(office_system, office_framework, plan)
+    timeline = fault_timeline(events)
+    by_event = Counter(record["event"] for record in timeline)
+    assert by_event["release"] >= 1
+    # Replayable ordering: the quarantine precedes its probe, which
+    # precedes the release, all on the same scheme.
+    sequence = [r["event"] for r in timeline if r["scheme"] == "wifi"]
+    assert sequence.index("quarantine") < sequence.index("probe")
+    assert sequence.index("probe") < sequence.index("release")
+    # Steps in the timeline are real step indices, sorted.
+    steps = [r["step"] for r in timeline]
+    assert steps == sorted(steps)
+
+
+def test_disabled_sink_emits_nothing(office_system, office_framework):
+    plan = FaultPlan.scheme_outage("wifi", kind="crash", seed=5)
+    result, events = _streamed_walk(office_system, office_framework, plan)
+    assert events  # sanity: the enabled run streams
+    # A fresh framework with the default no-op sink scores identically.
+    from repro.eval import build_framework
+
+    sys = office_system
+    quiet = build_framework(
+        sys["setup"], sys["models"], sys["walk"].moments[0].position
+    )
+    plan2 = FaultPlan.scheme_outage("wifi", kind="crash", seed=5)
+    plan2.apply(quiet)
+    baseline = run_walk(
+        quiet, sys["setup"].place, "survey", sys["walk"], sys["snaps"]
+    )
+    assert baseline.errors("uniloc2") == result.errors("uniloc2")

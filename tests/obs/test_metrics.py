@@ -144,3 +144,65 @@ def test_merge_snapshot_rejects_unknown_kind_and_kind_clash():
     parent.counter("y")
     with pytest.raises(TypeError):
         parent.merge_snapshot({"y": {"kind": "histogram", "values": [1.0]}})
+
+
+def test_merge_snapshot_disjoint_histogram_keys():
+    worker_a, worker_b, parent = (
+        MetricsRegistry(),
+        MetricsRegistry(),
+        MetricsRegistry(),
+    )
+    worker_a.histogram("a_ms").observe(1.0)
+    worker_b.histogram("b_ms").observe(2.0)
+    parent.merge_snapshot(worker_a.snapshot())
+    parent.merge_snapshot(worker_b.snapshot())
+    assert parent.histogram("a_ms").values() == [1.0]
+    assert parent.histogram("b_ms").values() == [2.0]
+    assert len(parent) == 2
+
+
+def test_merge_empty_snapshot_is_a_no_op():
+    parent = MetricsRegistry()
+    parent.counter("walks").inc(3)
+    before = parent.snapshot()
+    parent.merge_snapshot(MetricsRegistry().snapshot())
+    parent.merge_snapshot({})
+    assert parent.snapshot() == before
+
+
+def test_merge_into_empty_registry_round_trips_exactly():
+    source = MetricsRegistry()
+    source.counter("walks").inc(5)
+    source.gauge("pid").set(42.0)
+    source.histogram("lat_ms").observe(1.5)
+    source.histogram("lat_ms").observe(0.5)
+    target = MetricsRegistry()
+    target.merge_snapshot(source.snapshot())
+    assert target.snapshot() == source.snapshot()
+    # Re-merging the same snapshot is additive for counters and
+    # histograms, last-write-wins for gauges — never silently dropped.
+    target.merge_snapshot(source.snapshot())
+    assert target.counter("walks").value == 10
+    assert target.histogram("lat_ms").count == 4
+    assert target.gauge("pid").value == 42.0
+
+
+def test_merged_histogram_percentiles_match_single_process():
+    rng = np.random.default_rng(3)
+    values = rng.exponential(5.0, size=200).tolist()
+    single = MetricsRegistry()
+    for v in values:
+        single.histogram("lat_ms").observe(v)
+    parent = MetricsRegistry()
+    # Shard the observations over four "workers" in interleaved order.
+    for shard in range(4):
+        worker = MetricsRegistry()
+        for v in values[shard::4]:
+            worker.histogram("lat_ms").observe(v)
+        parent.merge_snapshot(worker.snapshot())
+    merged = parent.histogram("lat_ms")
+    reference = single.histogram("lat_ms")
+    assert merged.count == reference.count == len(values)
+    for p in (50, 90, 99):
+        assert merged.percentile(p) == pytest.approx(reference.percentile(p))
+    assert sorted(merged.values()) == sorted(reference.values())

@@ -202,3 +202,139 @@ def test_cache_ls_and_clear_empty_dir(tmp_path, capsys):
 def test_cache_warm_rejects_unknown_place(tmp_path, capsys):
     assert main(["cache", "warm", "--dir", str(tmp_path), "--places", "atlantis"]) == 2
     assert "unknown places" in capsys.readouterr().err
+
+
+def _write_synthetic_telemetry(path):
+    from repro.obs import MetricsRegistry
+    from repro.obs.telemetry import EventContext, EventEmitter, TelemetryWriter
+
+    with TelemetryWriter(path, run_id="run-t", experiment="fig7") as writer:
+        context = EventContext(run_id="run-t", job_id="job-0000", worker_id="worker-1")
+        emitter = EventEmitter(writer.write_event, context)
+        emitter.emit("job", "started", place="office", path="survey")
+        registry = MetricsRegistry()
+        registry.counter("uniloc.selected.wifi").inc(9)
+        registry.histogram("uniloc.step_ms").observe(1.25)
+        emitter.emit_snapshot(registry.snapshot())
+        emitter.emit("job", "finished", steps=25)
+
+
+def test_telemetry_tail_prints_recent_events(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    _write_synthetic_telemetry(log)
+    assert main(["telemetry", "tail", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# uniloc_telemetry v1")
+    assert "job/started" in out
+    assert "job/finished" in out
+    assert main(["telemetry", "tail", str(log), "--last", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "job/finished" in out
+    assert "job/started" not in out
+
+
+def test_telemetry_summary_renders_rollups(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    _write_synthetic_telemetry(log)
+    assert main(["telemetry", "summary", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "run-t" in out
+    assert "wifi" in out
+    assert "office" in out
+
+
+def test_telemetry_export_prometheus_parses(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    _write_synthetic_telemetry(log)
+    assert main(["telemetry", "export", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE uniloc_selected_wifi_total counter" in out
+    assert "uniloc_selected_wifi_total 9" in out
+    assert 'uniloc_step_ms{quantile="0.5"} 1.25' in out
+
+
+def test_telemetry_rejects_non_telemetry_file(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"not": "telemetry"}\n')
+    assert main(["telemetry", "summary", str(bogus)]) == 2
+    assert "cannot read telemetry log" in capsys.readouterr().err
+
+
+def test_run_telemetry_flag_requires_experiment(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    assert main(["run", "office", "survey", "--telemetry", str(log)]) == 2
+    assert "--telemetry only applies to experiment runs" in capsys.readouterr().err
+
+
+def test_profile_unknown_experiment_errors(capsys):
+    assert main(["profile", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_profile_table5_prints_hot_functions(tmp_path, capsys):
+    stacks = tmp_path / "stacks.txt"
+    assert main(["profile", "table5", "--interval-ms", "0.01", "--out", str(stacks)]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out
+    assert "samples, interval" in out
+    assert "function" in out
+    collapsed = stacks.read_text()
+    assert collapsed  # folded stacks were written
+    assert all(line.rsplit(" ", 1)[1].isdigit() for line in collapsed.splitlines())
+
+
+def _write_bench_history(tmp_path):
+    from repro.bench import BenchReport, Timing
+
+    for name, created_at, speedup in (
+        ("BENCH_a.json", 100.0, 10.0),
+        ("BENCH_b.json", 200.0, 4.0),  # injected regression
+    ):
+        BenchReport(
+            place="office",
+            seed=0,
+            created_at=created_at,
+            results={
+                "shadowing.scalar": Timing(
+                    p50_ms=speedup, p90_ms=speedup, n_iterations=3
+                ),
+                "shadowing.kernel": Timing(p50_ms=1.0, p90_ms=1.0, n_iterations=3),
+            },
+        ).save(tmp_path / name)
+    return [str(tmp_path / "BENCH_a.json"), str(tmp_path / "BENCH_b.json")]
+
+
+def test_bench_trend_flags_regression(tmp_path, capsys):
+    reports = _write_bench_history(tmp_path)
+    assert main(["bench", "trend", *reports]) == 0
+    out = capsys.readouterr().out
+    assert "| shadowing | 10.0x | 10.0x | 4.0x |" in out
+    assert "regressed" in out
+    # --strict turns the flagged regression into exit code 1.
+    assert main(["bench", "trend", *reports, "--strict"]) == 1
+    # A CSV render and a file sink.
+    csv_path = tmp_path / "trend.csv"
+    assert main(
+        ["bench", "trend", *reports, "--format", "csv", "--out", str(csv_path)]
+    ) == 0
+    assert csv_path.read_text().startswith("bench,source,created_at,speedup")
+
+
+def test_bench_trend_no_readable_history(tmp_path, capsys):
+    bogus = tmp_path / "BENCH_x.json"
+    bogus.write_text("{}")
+    assert main(["bench", "trend", str(bogus)]) == 2
+    err = capsys.readouterr().err
+    assert "skipping" in err
+    assert "no readable bench reports" in err
+
+
+def test_report_shows_io_counters_from_metered_trace(tmp_path, capsys):
+    out_file = tmp_path / "steps.jsonl"
+    assert main(["trace", "office", "survey", "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(out_file)]) == 0
+    report = capsys.readouterr().out
+    assert "I/O counters:" in report
+    assert "uniloc.trace.io.write_bytes" in report
+    assert "uniloc.trace.io.write_ms" in report
