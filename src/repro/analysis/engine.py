@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import inspect
 import json
 import os
 from dataclasses import dataclass, field
@@ -133,7 +134,9 @@ class Finding:
 class SourceFile:
     """One parsed file plus the path-derived scopes the rules key on."""
 
-    def __init__(self, display: str, text: str, in_src: bool | None = None):
+    def __init__(
+        self, display: str, text: str, in_src: bool | None = None
+    ) -> None:
         self.display = display
         self.text = text
         self.lines = text.splitlines()
@@ -216,11 +219,34 @@ class Rule:
         )
 
 
+def _rule_source_hash(rule: Rule) -> str:
+    """Hash a rule's implementation source, falling back to its version.
+
+    The manual ``version`` attribute only invalidates the cache when an
+    author remembers to bump it; hashing the rule class's actual source
+    (via :mod:`inspect`) makes every logic edit a cache miss.  Rules
+    whose source is unavailable (REPL-defined, C extensions) degrade to
+    the declared version — no worse than the old behavior.
+    """
+    try:
+        source = inspect.getsource(type(rule))
+    except (OSError, TypeError):
+        return f"v{rule.version}"
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
 def rules_fingerprint(rules: Sequence[Rule]) -> str:
-    """Hash the engine+rule versions; keys the per-file result cache."""
+    """Hash the engine + rule identities; keys the per-file result cache.
+
+    The fingerprint folds in each rule's id, declared version, *and* a
+    hash of its class source, so editing a rule's logic (with or
+    without a version bump) invalidates previously cached results.
+    """
     spec = {
         "analysis_version": ANALYSIS_VERSION,
-        "rules": sorted((rule.id, rule.version) for rule in rules),
+        "rules": sorted(
+            (rule.id, rule.version, _rule_source_hash(rule)) for rule in rules
+        ),
     }
     raw = json.dumps(spec, sort_keys=True)
     return hashlib.sha256(raw.encode()).hexdigest()[:12]

@@ -5,23 +5,33 @@ Adding a rule is three steps: subclass
 :func:`default_rules`, and drop a known-bad fixture under
 ``tests/analysis/fixtures/`` so the rule's behavior is pinned.  The
 engine handles everything else (caching, baselining, CLI/CI wiring).
+Rules that need to reason about where a value *came from* (rather than
+what one AST node looks like) build on the dataflow IR in
+:mod:`repro.analysis.dataflow`; see DESIGN.md's rule-author guide.
 """
 
 from __future__ import annotations
 
+from repro.analysis.engine import Rule
 from repro.analysis.rules.determinism import (
     DET002_ALLOWED_MODULES,
     UnseededRandomness,
     WallClockRead,
 )
+from repro.analysis.rules.escape import EscapeAnalysis
 from repro.analysis.rules.observability import MetricNameIntegrity
 from repro.analysis.rules.purity import ProcessBoundaryPurity
+from repro.analysis.rules.seed_lineage import SeedLineage
+from repro.analysis.rules.shapes import ShapeContracts
 from repro.analysis.rules.units import UnitSuffixConvention
 
 __all__ = [
     "DET002_ALLOWED_MODULES",
+    "EscapeAnalysis",
     "MetricNameIntegrity",
     "ProcessBoundaryPurity",
+    "SeedLineage",
+    "ShapeContracts",
     "UnitSuffixConvention",
     "UnseededRandomness",
     "WallClockRead",
@@ -29,13 +39,16 @@ __all__ = [
 ]
 
 
-def default_rules() -> list:
+def default_rules() -> list[Rule]:
     """Return one fresh instance of every built-in rule, id-ordered."""
-    rules = [
+    rules: list[Rule] = [
         UnseededRandomness(),
         WallClockRead(),
+        SeedLineage(),
         MetricNameIntegrity(),
         ProcessBoundaryPurity(),
+        EscapeAnalysis(),
+        ShapeContracts(),
         UnitSuffixConvention(),
     ]
     return sorted(rules, key=lambda rule: rule.id)

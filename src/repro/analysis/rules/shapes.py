@@ -1,0 +1,741 @@
+"""SHP001: symbolic shape contracts, checked by dataflow propagation.
+
+The numeric kernels document their shapes (``(M, 2)`` transmitters,
+``(N, M)`` surfaces) but nothing checks a call site against those
+docs.  With :class:`repro.shapes.Shape` declarations on the kernel
+signatures, this rule closes the loop in two passes:
+
+* **per file** (``check``): for every function, seed a symbolic
+  environment from its ``Shape``-annotated parameters and propagate
+  dims forward through assignments — elementwise broadcasting,
+  ``@``/matmul, indexing (``x[:, 0]``, ``x[:, None]``), ``reshape``,
+  ``stack``/``column_stack``, axis reductions, and ``.T``.  A
+  broadcast of two *known, unequal* dims or a matmul with mismatched
+  inner dims is an error.  Every call whose target resolves into the
+  ``repro`` namespace is also emitted as a fact — a serialized
+  :class:`~repro.analysis.dataflow.CallSite` plus the inferred
+  argument shapes.
+* **cross file** (``cross_check``): the per-file facts are joined into
+  a :class:`~repro.analysis.dataflow.CallGraph`; every call edge whose
+  callee declares a contract gets its inferred argument shapes checked
+  against the declaration, with contract symbols bound consistently
+  across arguments.
+
+Propagation is deliberately conservative: an unknown dim (``None``)
+silences every downstream check, distinct *symbols* are only compared
+inside one function's own contract namespace (where ``N`` and ``M``
+declare independent axes), and cross-file checks flag only rank
+mismatches, unequal literals, and one contract symbol bound to two
+different literals.  The rule under-reports rather than cry wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from repro.analysis.dataflow import CallGraph, CallSite, module_name
+from repro.analysis.engine import Finding, Rule, SourceFile
+from repro.analysis.names import canonicalize, dotted_name, import_bindings
+from repro.shapes import parse_dims
+
+#: numpy callables that return their first argument's shape unchanged.
+_ELEMENTWISE_UNARY = frozenset(
+    {
+        "numpy.sin",
+        "numpy.cos",
+        "numpy.tan",
+        "numpy.arcsin",
+        "numpy.arccos",
+        "numpy.arctan",
+        "numpy.exp",
+        "numpy.log",
+        "numpy.log10",
+        "numpy.log2",
+        "numpy.sqrt",
+        "numpy.abs",
+        "numpy.absolute",
+        "numpy.floor",
+        "numpy.ceil",
+        "numpy.sign",
+        "numpy.negative",
+        "numpy.clip",
+        "numpy.asarray",
+        "numpy.ascontiguousarray",
+        "numpy.isfinite",
+        "numpy.isnan",
+        "numpy.square",
+    }
+)
+
+#: numpy callables that broadcast all their array arguments.
+_ELEMENTWISE_NARY = frozenset(
+    {
+        "numpy.hypot",
+        "numpy.arctan2",
+        "numpy.maximum",
+        "numpy.minimum",
+        "numpy.where",
+        "numpy.add",
+        "numpy.subtract",
+        "numpy.multiply",
+        "numpy.divide",
+        "numpy.power",
+        "numpy.fmod",
+    }
+)
+
+#: Array-method names that preserve the receiver's shape.
+_PASSTHROUGH_METHODS = frozenset({"astype", "copy", "clip", "round"})
+
+#: Array-method names that reduce over an axis (or fully, without one).
+_REDUCTION_METHODS = frozenset(
+    {"sum", "mean", "min", "max", "prod", "std", "var", "any", "all"}
+)
+
+
+def _functions_with_class(
+    tree: ast.AST,
+) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(enclosing class name or None, function)`` pairs.
+
+    Only module-level functions and first-level methods are yielded;
+    nested functions track their enclosing scope's environment and are
+    out of scope for contract checking.
+    """
+    for statement in getattr(tree, "body", []):
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, statement
+        elif isinstance(statement, ast.ClassDef):
+            for inner in statement.body:
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield statement.name, inner
+
+
+def _dims_to_json(shape: tuple[str | None, ...] | None) -> list[str | None] | None:
+    return None if shape is None else list(shape)
+
+
+def _dims_from_json(data: Any) -> tuple[str | None, ...] | None:
+    if data is None:
+        return None
+    return tuple(None if d is None else str(d) for d in data)
+
+
+def _render(shape: tuple[str | None, ...] | None) -> str:
+    if shape is None:
+        return "(?)"
+    return "(" + ", ".join("?" if d is None else d for d in shape) + ")"
+
+
+def _shape_specs(annotation: ast.expr | None) -> tuple[str, ...] | None:
+    """Extract the ``Shape("...")`` dims from one annotation, if any.
+
+    Handles both live ``Annotated[np.ndarray, Shape("(N, 2)")]`` AST
+    and string annotations (``from __future__ import annotations``
+    stringizes nothing at the AST level, but explicitly quoted
+    annotations are re-parsed).
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for node in ast.walk(annotation):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None or callee.rpartition(".")[2] != "Shape":
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            spec = node.args[0].value
+            if isinstance(spec, str):
+                try:
+                    return parse_dims(spec)
+                except ValueError:
+                    return None
+    return None
+
+
+def _is_full_slice(node: ast.Slice) -> bool:
+    """Return True for a bare ``:`` slice (axis length preserved)."""
+    return node.lower is None and node.upper is None and node.step is None
+
+
+def _broadcast(
+    left: tuple[str | None, ...] | None,
+    right: tuple[str | None, ...] | None,
+) -> tuple[tuple[str | None, ...] | None, tuple[str | None, str | None] | None]:
+    """Numpy-broadcast two symbolic shapes.
+
+    Returns ``(result, conflict)`` where ``conflict`` is the offending
+    dim pair when two *known* non-1 dims disagree (the caller turns
+    that into a finding), else ``None``.
+    """
+    if left is None or right is None:
+        return None, None
+    out: list[str | None] = []
+    for i in range(1, max(len(left), len(right)) + 1):
+        l = left[-i] if i <= len(left) else "1"
+        r = right[-i] if i <= len(right) else "1"
+        if l is None or r is None:
+            out.append(None)
+        elif l == r:
+            out.append(l)
+        elif l == "1":
+            out.append(r)
+        elif r == "1":
+            out.append(l)
+        else:
+            return None, (l, r)
+    return tuple(reversed(out)), None
+
+
+class _FunctionShapeChecker:
+    """Propagates symbolic shapes through one function body."""
+
+    def __init__(
+        self,
+        rule: "ShapeContracts",
+        file: SourceFile,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        env: dict[str, tuple[str | None, ...]],
+        bindings: dict[str, str],
+        local_names: frozenset[str],
+        class_name: str | None,
+        module: str,
+    ) -> None:
+        self.rule = rule
+        self.file = file
+        self.func = func
+        self.env: dict[str, tuple[str | None, ...] | None] = dict(env)
+        self.bindings = bindings
+        self.local_names = local_names
+        self.class_name = class_name
+        self.module = module
+        self.findings: list[Finding] = []
+        self.call_facts: list[dict[str, Any]] = []
+        self.qualname = (
+            f"{module}.{class_name}.{func.name}"
+            if class_name
+            else f"{module}.{func.name}"
+        )
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self) -> None:
+        for statement in self._statements(self.func.body):
+            self._visit_statement(statement)
+
+    def _statements(self, body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        for statement in body:
+            yield statement
+            for block in ("body", "orelse", "finalbody"):
+                inner = getattr(statement, block, None)
+                if isinstance(inner, list) and not isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    yield from self._statements(
+                        [s for s in inner if isinstance(s, ast.stmt)]
+                    )
+            for handler in getattr(statement, "handlers", []):
+                yield from self._statements(handler.body)
+
+    def _visit_statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            shape = self._infer(statement.value)
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    self.env[target.id] = shape
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            if isinstance(statement.target, ast.Name):
+                declared = _shape_specs(statement.annotation)
+                inferred = self._infer(statement.value)
+                self.env[statement.target.id] = (
+                    tuple(declared) if declared is not None else inferred
+                )
+        elif isinstance(statement, ast.AugAssign):
+            if isinstance(statement.target, ast.Name):
+                current = self.env.get(statement.target.id)
+                result, conflict = _broadcast(
+                    current, self._infer(statement.value)
+                )
+                self._report_conflict(statement, conflict)
+                self.env[statement.target.id] = result
+        elif isinstance(statement, ast.Expr):
+            self._infer(statement.value)
+        elif isinstance(statement, ast.Return) and statement.value is not None:
+            self._infer(statement.value)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._infer(statement.iter)
+            if isinstance(statement.target, ast.Name):
+                self.env[statement.target.id] = None
+        elif isinstance(statement, (ast.If, ast.While)):
+            self._infer(statement.test)
+
+    def _report_conflict(
+        self, node: ast.AST, conflict: tuple[str | None, str | None] | None
+    ) -> None:
+        if conflict is None:
+            return
+        left, right = conflict
+        self.findings.append(
+            self.rule.finding(
+                self.file,
+                node,
+                f"broadcast mismatch: dim {left!r} vs {right!r} (declared "
+                "independent in this function's Shape contracts)",
+            )
+        )
+
+    # -- inference ---------------------------------------------------------
+
+    def _infer(self, expr: ast.expr) -> tuple[str | None, ...] | None:
+        try:
+            return self._infer_inner(expr)
+        except RecursionError:  # pragma: no cover - pathological nesting
+            return None
+
+    def _infer_inner(self, expr: ast.expr) -> tuple[str | None, ...] | None:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float, complex, bool)):
+                return ()  # scalars broadcast with anything
+            return None
+        if isinstance(expr, ast.BinOp):
+            left = self._infer(expr.left)
+            right = self._infer(expr.right)
+            if isinstance(expr.op, ast.MatMult):
+                return self._matmul(expr, left, right)
+            result, conflict = _broadcast(left, right)
+            self._report_conflict(expr, conflict)
+            return result
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer(expr.operand)
+        if isinstance(expr, ast.Compare):
+            result = self._infer(expr.left)
+            for comparator in expr.comparators:
+                result, conflict = _broadcast(result, self._infer(comparator))
+                self._report_conflict(expr, conflict)
+            return result
+        if isinstance(expr, ast.Subscript):
+            return self._subscript(expr)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T":
+                base = self._infer(expr.value)
+                return None if base is None else tuple(reversed(base))
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.IfExp):
+            body = self._infer(expr.body)
+            orelse = self._infer(expr.orelse)
+            return body if body == orelse else None
+        if isinstance(expr, ast.NamedExpr):
+            shape = self._infer(expr.value)
+            if isinstance(expr.target, ast.Name):
+                self.env[expr.target.id] = shape
+            return shape
+        return None
+
+    def _matmul(
+        self,
+        expr: ast.BinOp,
+        left: tuple[str | None, ...] | None,
+        right: tuple[str | None, ...] | None,
+    ) -> tuple[str | None, ...] | None:
+        if left is None or right is None:
+            return None
+        if len(left) == 2 and len(right) == 2:
+            inner_l, inner_r = left[1], right[0]
+            if (
+                inner_l is not None
+                and inner_r is not None
+                and inner_l != inner_r
+            ):
+                self.findings.append(
+                    self.rule.finding(
+                        self.file,
+                        expr,
+                        f"matmul inner-dim mismatch: {_render(left)} @ "
+                        f"{_render(right)}",
+                    )
+                )
+                return None
+            return (left[0], right[1])
+        if len(left) == 2 and len(right) == 1:
+            if (
+                left[1] is not None
+                and right[0] is not None
+                and left[1] != right[0]
+            ):
+                self.findings.append(
+                    self.rule.finding(
+                        self.file,
+                        expr,
+                        f"matmul inner-dim mismatch: {_render(left)} @ "
+                        f"{_render(right)}",
+                    )
+                )
+                return None
+            return (left[0],)
+        if len(left) == 1 and len(right) == 2:
+            return (right[1],)
+        return None
+
+    def _subscript(self, expr: ast.Subscript) -> tuple[str | None, ...] | None:
+        base = self._infer(expr.value)
+        if base is None:
+            return None
+        index = expr.slice
+        items = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+        out: list[str | None] = []
+        axis = 0
+        for item in items:
+            if isinstance(item, ast.Slice):
+                if axis >= len(base):
+                    return None
+                out.append(base[axis] if _is_full_slice(item) else None)
+                axis += 1
+            elif isinstance(item, ast.Constant) and item.value is None:
+                out.append("1")  # np.newaxis
+            elif isinstance(item, ast.Constant) and isinstance(item.value, int):
+                axis += 1  # integer index drops the axis
+            elif isinstance(item, ast.Constant) and item.value is Ellipsis:
+                return None
+            elif isinstance(item, (ast.Name, ast.UnaryOp, ast.BinOp)):
+                axis += 1  # dynamic scalar index still drops the axis
+            else:
+                return None  # masks / fancy indexing: give up
+        if axis > len(base):
+            return None
+        out.extend(base[axis:])
+        return tuple(out)
+
+    def _call(self, expr: ast.Call) -> tuple[str | None, ...] | None:
+        callee = self._resolve_callee(expr)
+        if callee is not None and callee.startswith("repro."):
+            self._emit_call_fact(expr, callee)
+        if isinstance(expr.func, ast.Attribute):
+            method = expr.func.attr
+            receiver = self._infer(expr.func.value)
+            if method in _PASSTHROUGH_METHODS and receiver is not None:
+                return receiver
+            if method in _REDUCTION_METHODS and receiver is not None:
+                return self._reduce(expr, receiver)
+            if method == "reshape":
+                return self._reshape(expr)
+            if method in ("ravel", "flatten") and receiver is not None:
+                return (None,)
+        if callee is None:
+            return None
+        if callee in _ELEMENTWISE_UNARY:
+            return self._infer(expr.args[0]) if expr.args else None
+        if callee in _ELEMENTWISE_NARY:
+            result: tuple[str | None, ...] | None = ()
+            for argument in expr.args:
+                result, conflict = _broadcast(result, self._infer(argument))
+                self._report_conflict(expr, conflict)
+            return result
+        if callee in ("numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"):
+            return self._literal_shape(expr.args[0]) if expr.args else None
+        if callee in ("numpy.column_stack", "numpy.stack"):
+            return self._stack(expr, callee)
+        if callee == "numpy.linalg.norm":
+            return self._reduce(expr, self._infer(expr.args[0])) if expr.args else None
+        if callee in ("numpy.argsort", "numpy.sort", "numpy.cumsum"):
+            return self._infer(expr.args[0]) if expr.args else None
+        if callee == "numpy.searchsorted" and len(expr.args) >= 2:
+            return self._infer(expr.args[1])
+        return None
+
+    def _resolve_callee(self, expr: ast.Call) -> str | None:
+        dotted = dotted_name(expr.func)
+        if dotted is None:
+            return None
+        head = dotted.partition(".")[0]
+        if head == "self" and self.class_name is not None:
+            rest = dotted.partition(".")[2]
+            if rest and "." not in rest:
+                return f"{self.module}.{self.class_name}.{rest}"
+            return None
+        if head in self.bindings:
+            return canonicalize(dotted, self.bindings)
+        if head in self.local_names:
+            return f"{self.module}.{dotted}"
+        return dotted
+
+    def _emit_call_fact(self, expr: ast.Call, callee: str) -> None:
+        arg_dims = [_dims_to_json(self._infer(a)) for a in expr.args]
+        if all(d is None for d in arg_dims):
+            return  # nothing known, nothing checkable
+        site = CallSite(
+            caller=self.qualname,
+            callee=callee,
+            line=expr.lineno,
+            col=expr.col_offset,
+        )
+        self.call_facts.append({**site.to_dict(), "arg_dims": arg_dims})
+
+    def _reduce(
+        self, expr: ast.Call, receiver: tuple[str | None, ...] | None
+    ) -> tuple[str | None, ...] | None:
+        if receiver is None:
+            return None
+        axis_value: int | None = None
+        has_axis = False
+        for keyword in expr.keywords:
+            if keyword.arg == "axis":
+                has_axis = True
+                if isinstance(keyword.value, ast.Constant) and isinstance(
+                    keyword.value.value, int
+                ):
+                    axis_value = keyword.value.value
+                elif isinstance(keyword.value, ast.UnaryOp) and isinstance(
+                    keyword.value.operand, ast.Constant
+                ):
+                    operand = keyword.value.operand.value
+                    if isinstance(operand, int):
+                        axis_value = -operand
+        if not has_axis and not expr.args:
+            return ()  # full reduction
+        if axis_value is None:
+            return None
+        try:
+            normalized = axis_value % len(receiver)
+        except ZeroDivisionError:
+            return None
+        return receiver[:normalized] + receiver[normalized + 1 :]
+
+    def _reshape(self, expr: ast.Call) -> tuple[str | None, ...] | None:
+        args = list(expr.args)
+        if len(args) == 1 and isinstance(args[0], ast.Tuple):
+            args = list(args[0].elts)
+        out: list[str | None] = []
+        for argument in args:
+            if isinstance(argument, ast.Constant) and isinstance(
+                argument.value, int
+            ):
+                out.append(None if argument.value == -1 else str(argument.value))
+            elif isinstance(argument, ast.UnaryOp) and isinstance(
+                argument.op, ast.USub
+            ):
+                out.append(None)  # -1 (or any negative): inferred dim
+            else:
+                out.append(None)
+        return tuple(out) if out else None
+
+    def _stack(
+        self, expr: ast.Call, callee: str
+    ) -> tuple[str | None, ...] | None:
+        if not expr.args or not isinstance(expr.args[0], (ast.List, ast.Tuple)):
+            return None
+        elements = expr.args[0].elts
+        shapes = [self._infer(e) for e in elements]
+        if not shapes or any(s is None for s in shapes):
+            return None
+        first = shapes[0]
+        if any(s != first for s in shapes[1:]):
+            return None  # unequal element shapes: leave to numpy
+        k = str(len(elements))
+        assert first is not None
+        if callee == "numpy.column_stack" and len(first) == 1:
+            return (first[0], k)
+        if callee == "numpy.stack":
+            for keyword in expr.keywords:
+                if keyword.arg == "axis":
+                    return None  # non-default axis: skip
+            return (k,) + first
+        return None
+
+    def _literal_shape(self, argument: ast.expr) -> tuple[str | None, ...] | None:
+        if isinstance(argument, ast.Constant) and isinstance(argument.value, int):
+            return (str(argument.value),)
+        if isinstance(argument, ast.Tuple):
+            out: list[str | None] = []
+            for element in argument.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, int
+                ):
+                    out.append(str(element.value))
+                else:
+                    out.append(None)
+            return tuple(out)
+        return None
+
+
+class ShapeContracts(Rule):
+    """SHP001: Shape-annotated signatures are checked at every call edge.
+
+    Per file, shapes propagate through each function (broadcast and
+    matmul mismatches are findings); per tree, the emitted call-graph
+    facts are resolved against every declared contract and argument
+    shapes are validated with consistent symbol binding.
+    """
+
+    id = "SHP001"
+    tier = "error"
+    title = "symbolic shape-contract violation"
+    version = 1
+
+    def check(self, file: SourceFile) -> tuple[list[Finding], Any]:
+        if not file.in_src:
+            return [], None
+        bindings = import_bindings(file.tree)
+        module = module_name(file.display)
+        findings: list[Finding] = []
+        contracts: list[dict[str, Any]] = []
+        calls: list[dict[str, Any]] = []
+        top_level = {
+            n.name
+            for n in getattr(file.tree, "body", [])
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+        for class_name, func in _functions_with_class(file.tree):
+            env: dict[str, tuple[str | None, ...]] = {}
+            params: dict[str, list[str]] = {}
+            for arg in list(func.args.posonlyargs) + list(func.args.args):
+                dims = _shape_specs(arg.annotation)
+                if dims is not None:
+                    env[arg.arg] = tuple(dims)
+                    params[arg.arg] = list(dims)
+            returns = _shape_specs(func.returns)
+            qualname = (
+                f"{module}.{class_name}.{func.name}"
+                if class_name
+                else f"{module}.{func.name}"
+            )
+            if params or returns is not None:
+                arg_order = [
+                    a.arg
+                    for a in list(func.args.posonlyargs) + list(func.args.args)
+                ]
+                contracts.append(
+                    {
+                        "qualname": qualname,
+                        "arg_order": arg_order,
+                        "params": params,
+                        "returns": list(returns) if returns is not None else None,
+                        "path": file.display,
+                        "line": func.lineno,
+                    }
+                )
+            checker = _FunctionShapeChecker(
+                rule=self,
+                file=file,
+                func=func,
+                env=env,
+                bindings=bindings,
+                local_names=frozenset(top_level),
+                class_name=class_name,
+                module=module,
+            )
+            checker.run()
+            findings.extend(checker.findings)
+            calls.extend(checker.call_facts)
+        facts = {"contracts": contracts, "calls": calls}
+        if not contracts and not calls:
+            return findings, None
+        return findings, facts
+
+    def cross_check(self, facts: list[tuple[str, Any]]) -> list[Finding]:
+        contracts: dict[str, dict[str, Any]] = {}
+        call_payloads: list[tuple[str, dict[str, Any]]] = []
+        for display, payload in facts:
+            for contract in payload.get("contracts", []):
+                contracts[contract["qualname"]] = contract
+            for call in payload.get("calls", []):
+                call_payloads.append((display, call))
+        # The joined call graph over every file's facts; a caller none
+        # of whose outgoing edges reach a contracted function is skipped
+        # without deserializing its per-call shape payloads.
+        graph = CallGraph(
+            [CallSite.from_dict(call) for _, call in call_payloads]
+        )
+        findings: list[Finding] = []
+        for display, call in call_payloads:
+            caller = str(call["caller"])
+            if not graph.callees(caller) & contracts.keys():
+                continue
+            site = CallSite.from_dict(call)
+            contract = contracts.get(site.callee)
+            if contract is None:
+                continue
+            findings.extend(
+                self._check_call(display, site, call, contract)
+            )
+        return findings
+
+    def _check_call(
+        self,
+        display: str,
+        site: CallSite,
+        call: dict[str, Any],
+        contract: dict[str, Any],
+    ) -> list[Finding]:
+        arg_order: list[str] = list(contract["arg_order"])
+        if arg_order and arg_order[0] in ("self", "cls"):
+            arg_order = arg_order[1:]
+        params: dict[str, list[str]] = contract["params"]
+        bindings: dict[str, str] = {}
+        findings: list[Finding] = []
+        for position, raw_dims in enumerate(call.get("arg_dims", [])):
+            actual = _dims_from_json(raw_dims)
+            if actual is None or position >= len(arg_order):
+                continue
+            param = arg_order[position]
+            declared = params.get(param)
+            if declared is None:
+                continue
+            problem = _bind_and_check(tuple(declared), actual, bindings)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        tier=self.tier,
+                        path=display,
+                        line=site.line,
+                        col=site.col + 1,
+                        message=(
+                            f"argument {param!r} of {site.callee} "
+                            f"declares Shape {_render(tuple(declared))} but "
+                            f"receives {_render(actual)}: {problem}"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _bind_and_check(
+    declared: tuple[str, ...],
+    actual: tuple[str | None, ...],
+    bindings: dict[str, str],
+) -> str | None:
+    """Check one argument against its contract; return the problem or None.
+
+    Flags only provable violations: rank mismatch, unequal literal
+    dims, or one contract symbol bound to two different literals.
+    Caller-side symbols never conflict with each other (their equality
+    is unknowable here).
+    """
+    if len(declared) != len(actual):
+        return f"rank {len(actual)} != declared rank {len(declared)}"
+    for index, (want, have) in enumerate(zip(declared, actual)):
+        if have is None:
+            continue
+        if want.isdigit():
+            if have.isdigit() and want != have:
+                return f"axis {index} is {have}, contract requires {want}"
+            continue
+        bound = bindings.get(want)
+        if bound is None:
+            bindings[want] = have
+        elif bound.isdigit() and have.isdigit() and bound != have:
+            return (
+                f"axis {index} binds symbol {want!r} to {have} but it was "
+                f"already bound to {bound}"
+            )
+    return None

@@ -45,11 +45,19 @@ Commands mirror the paper's workflow:
     plus one walk per scheme with that scheme at 100% failure, printing
     whether UniLoc2 still beats the best surviving single scheme (see
     README "Fault injection & resilience").
-``lint [paths] [--rule ID] [--json] [--baseline [FILE]]``
-    Run the repo-specific static-analysis rules (seeding, wall-clock,
+``lint [paths] [--rule ID] [--format text|json|sarif] [--baseline [FILE]]``
+    Run the repo-specific static-analysis rules over the tree: the
+    syntactic set (unseeded randomness, wall-clock reads,
     process-boundary purity, metric-name integrity, unit suffixes)
-    over the tree; exits 1 on any error-tier finding (see README
-    "Static analysis").
+    plus the dataflow-aware set (DET101 seed lineage, PUR101 escape
+    analysis, SHP001 shape contracts).  Exits 1 on any error-tier
+    finding; ``--format sarif`` targets GitHub code scanning (see
+    README "Static analysis").
+``sanitize EXPERIMENT [--n-walks N] [--json]``
+    Runtime determinism check: run a registered experiment twice under
+    scripted clocks and a recording RNG constructor, then bisect the
+    two telemetry streams for the first diverging event; exits 1 on
+    divergence with the break localized to job/worker/walk seed.
 ``bench run|compare|trend``
     ``bench run`` times the radio kernels against their scalar
     baselines on one place and writes a versioned ``BENCH_<date>.json``
@@ -667,11 +675,43 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"wrote baseline with {n} fingerprint(s) to {args.write_baseline}"
         )
         return 0
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    elif fmt == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        print(json.dumps(to_sarif(report, rules), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.n_errors else 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run the determinism sanitizer; exit 1 when the runs diverge."""
+    import json
+
+    from repro.analysis.sanitizer import sanitize_experiment
+    from repro.eval.registry import experiment_names
+
+    if args.experiment not in experiment_names():
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(experiment_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    report = sanitize_experiment(
+        args.experiment,
+        seed=args.seed,
+        n_walks=args.n_walks,
+        out_dir=args.out_dir,
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
     else:
         print(report.render())
-    return 1 if report.n_errors else 0
+    return 0 if report.clean else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -1006,7 +1046,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="only run this rule (repeatable, e.g. --rule DET001)",
     )
     p_lint.add_argument(
-        "--json", action="store_true", help="emit the machine-readable report"
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (same as --format json)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format; sarif targets GitHub code scanning "
+        "(default: text)",
     )
     p_lint.add_argument(
         "--baseline",
@@ -1030,6 +1079,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="run an experiment twice and bisect any determinism break",
+    )
+    p_san.add_argument(
+        "experiment", help="registered experiment name (see `repro run --list`)"
+    )
+    p_san.add_argument(
+        "--n-walks", type=int, default=None, help="walks to pool"
+    )
+    p_san.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory for the two telemetry logs "
+        "(default: .repro-cache/sanitize)",
+    )
+    p_san.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable divergence report",
+    )
+    p_san.set_defaults(func=cmd_sanitize)
 
     p_bench = sub.add_parser(
         "bench", help="run or compare the kernel microbenchmarks"

@@ -18,9 +18,12 @@ confidence computation (Eq. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Annotated
 
 import numpy as np
 from scipy import stats
+
+from repro.shapes import Shape
 
 
 @dataclass(frozen=True)
@@ -77,14 +80,20 @@ class LinearErrorModel:
             raise RuntimeError("error model has not been fitted")
         return self._summary
 
-    def _design_matrix(self, features: np.ndarray) -> np.ndarray:
+    def _design_matrix(
+        self, features: Annotated[np.ndarray, Shape("(n, p)")]
+    ) -> np.ndarray:
         """Append the intercept column when configured."""
         if not self.fit_intercept:
             return features
         ones = np.ones((features.shape[0], 1))
         return np.hstack([features, ones])
 
-    def fit(self, features: np.ndarray, errors: np.ndarray) -> RegressionSummary:
+    def fit(
+        self,
+        features: Annotated[np.ndarray, Shape("(n, p)")],
+        errors: Annotated[np.ndarray, Shape("(n,)")],
+    ) -> RegressionSummary:
         """Fit the model by ordinary least squares.
 
         Args:

@@ -38,11 +38,12 @@ from __future__ import annotations
 import functools
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Annotated, Sequence
 
 import numpy as np
 
 from repro.geometry import Grid, Point
+from repro.shapes import Shape
 from repro.radio.fingerprint import (
     MISSING_RSSI_DBM,
     Fingerprint,
@@ -143,7 +144,9 @@ class ShadowingField:
         total = float(np.sin(arg).sum())
         return self.sigma_db * total / _WAVE_NORM
 
-    def shadowing_db(self, points_xy: np.ndarray) -> np.ndarray:
+    def shadowing_db(
+        self, points_xy: Annotated[np.ndarray, Shape("(N, 2)")]
+    ) -> Annotated[np.ndarray, Shape("(N,)")]:
         """Evaluate the field for an ``(N, 2)`` array of points at once."""
         points = np.asarray(points_xy, dtype=float)
         if self.sigma_db <= 0.0:
@@ -199,7 +202,9 @@ class ShadowingBank:
     def n_transmitters(self) -> int:
         return int(self.cos_angles.shape[0])
 
-    def shadowing_db(self, rx_xy: np.ndarray) -> np.ndarray:
+    def shadowing_db(
+        self, rx_xy: Annotated[np.ndarray, Shape("(N, 2)")]
+    ) -> Annotated[np.ndarray, Shape("(N, M)")]:
         """Return the ``(N, M)`` shadowing surface at ``(N, 2)`` receivers."""
         rx = np.asarray(rx_xy, dtype=float)
         n, m = rx.shape[0], self.n_transmitters
@@ -246,9 +251,9 @@ def _shadowing_bank(
 
 def path_loss_db(
     model: "PropagationModel",
-    distance_m: np.ndarray,
+    distance_m: Annotated[np.ndarray, Shape("(N, M)")],
     walls: np.ndarray | float = 0.0,
-) -> np.ndarray:
+) -> Annotated[np.ndarray, Shape("(N, M)")]:
     """Return batched deterministic path loss (vector twin of the scalar API)."""
     d = np.maximum(np.asarray(distance_m, dtype=float), REFERENCE_DISTANCE_M)
     return (
@@ -260,11 +265,11 @@ def path_loss_db(
 
 def mean_rssi_dbm(
     model: "PropagationModel",
-    tx_xy: np.ndarray,
+    tx_xy: Annotated[np.ndarray, Shape("(M, 2)")],
     tx_seeds: Sequence[int],
-    rx_xy: np.ndarray,
+    rx_xy: Annotated[np.ndarray, Shape("(N, 2)")],
     walls: np.ndarray | float = 0.0,
-) -> np.ndarray:
+) -> Annotated[np.ndarray, Shape("(N, M)")]:
     """Return the noise-free ``(N, M)`` RSSI surface for ``M`` transmitters.
 
     Args:
@@ -388,13 +393,13 @@ class CompiledFingerprintDatabase:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def positions(self) -> np.ndarray:
+    def positions(self) -> Annotated[np.ndarray, Shape("(E, 2)")]:
         """Return the (read-only) ``(n, 2)`` array of surveyed positions."""
         return self._positions
 
     def distances(
         self, rssi_dbm: dict[str, float], rows: np.ndarray | None = None
-    ) -> np.ndarray:
+    ) -> Annotated[np.ndarray, Shape("(E,)")]:
         """Return the RSSI distance from a scan to every (or selected) entry.
 
         Equivalent to the scalar union-of-keys distance: transmitters in
@@ -584,11 +589,13 @@ class CompiledGaussianFingerprintDatabase:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def positions(self) -> np.ndarray:
+    def positions(self) -> Annotated[np.ndarray, Shape("(E, 2)")]:
         """Return the (read-only) ``(n, 2)`` array of surveyed positions."""
         return self._positions
 
-    def log_likelihoods(self, rssi_dbm: dict[str, float]) -> np.ndarray:
+    def log_likelihoods(
+        self, rssi_dbm: dict[str, float]
+    ) -> Annotated[np.ndarray, Shape("(E,)")]:
         """Return each entry's log-likelihood of the scan, as an ``(n,)`` array."""
         vector = np.full(len(self.transmitter_ids), MISSING_RSSI_DBM)
         in_scan = np.zeros(len(self.transmitter_ids), dtype=bool)

@@ -67,6 +67,8 @@ class ParticleFilter:
         heading_noise_std: per-particle heading perturbation per step.
         position_noise_std: per-step process noise in meters.
         scale_noise_std: random walk of the per-particle step-length scale.
+        seed: seed of the placeholder RNG used before :meth:`initialize`
+            installs the caller's walk-derived generator.
     """
 
     place: Place
@@ -74,6 +76,7 @@ class ParticleFilter:
     heading_noise_std: float = 0.08
     position_noise_std: float = 0.15
     scale_noise_std: float = 0.01
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_particles <= 0:
@@ -90,7 +93,7 @@ class ParticleFilter:
         self.positions = np.zeros((self.n_particles, 2))
         self.scales = np.ones(self.n_particles)
         self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
-        self._rng = np.random.default_rng(0)
+        self._rng = np.random.default_rng(self.seed)
 
     def initialize(
         self, start: Point, spread: float, rng: np.random.Generator

@@ -1,0 +1,105 @@
+"""Symbolic array-shape contracts for the numeric kernels.
+
+The batched kernels in :mod:`repro.radio.kernels` and the estimators in
+:mod:`repro.core` pass arrays whose axes carry meaning — ``(N, 2)``
+receiver positions, ``(N, M)`` RSSI surfaces, ``(n, p)`` design
+matrices — but that meaning lives only in docstrings, where a
+transposed argument or an off-by-one column count survives until a
+figure comes out wrong.  :class:`Shape` turns the docstring convention
+into a declaration::
+
+    def mean_rssi_dbm(
+        tx_xy: Annotated[np.ndarray, Shape("(M, 2)")],
+        rx_xy: Annotated[np.ndarray, Shape("(N, 2)")],
+    ) -> Annotated[np.ndarray, Shape("(N, M)")]: ...
+
+At runtime a :class:`Shape` inside ``typing.Annotated`` is inert
+metadata (zero import or call cost on the hot path); the SHP001 lint
+rule reads the declarations statically and propagates the symbolic
+dims through broadcasting, matmul, reshape, and stacking to flag
+mismatches at review time.  :meth:`Shape.matches` is the optional
+runtime half, for tests that want to assert a produced array honors
+its declared contract.
+
+Dim grammar: a spec is a parenthesized, comma-separated list of dims;
+each dim is either an integer literal (``2``) or a symbolic name
+(``N``, ``M``, ``n_walks``).  ``"(N,)"`` is a 1-d contract, ``"()"`` a
+scalar.  Within one function signature, equal symbols declare equal
+axes; distinct symbols declare independent axes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_DIM_PATTERN = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_]*|\d+)$")
+
+
+def parse_dims(spec: str) -> tuple[str, ...]:
+    """Parse a shape spec string into its dim tokens.
+
+    ``"(N, 2)"`` parses to ``("N", "2")``; ``"(N,)"`` to ``("N",)``;
+    ``"()"`` to ``()``.
+
+    Raises:
+        ValueError: when the spec is not a parenthesized dim list.
+    """
+    text = spec.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise ValueError(f"shape spec must be parenthesized: {spec!r}")
+    inner = text[1:-1].strip()
+    if not inner:
+        return ()
+    parts = [part.strip() for part in inner.split(",")]
+    if parts and parts[-1] == "":
+        parts = parts[:-1]  # the "(N,)" trailing comma
+    for part in parts:
+        if not _DIM_PATTERN.match(part):
+            raise ValueError(f"bad dim {part!r} in shape spec {spec!r}")
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One symbolic shape contract, used inside ``typing.Annotated``.
+
+    Attributes:
+        spec: the contract string, e.g. ``"(N, 2)"``.
+    """
+
+    spec: str
+
+    def __post_init__(self) -> None:
+        parse_dims(self.spec)  # validate eagerly; raises ValueError
+
+    def dims(self) -> tuple[str, ...]:
+        """Return the parsed dim tokens."""
+        return parse_dims(self.spec)
+
+    def matches(
+        self, shape: tuple[int, ...], env: dict[str, int] | None = None
+    ) -> bool:
+        """Check a concrete array shape against the contract.
+
+        Symbols bind on first use and must stay consistent; pass (and
+        share) ``env`` across several checks to enforce one binding
+        over multiple arrays (``Shape("(N, 2)")`` and ``Shape("(N,)")``
+        with the same ``env`` require the same ``N``).
+        """
+        dims = self.dims()
+        if len(dims) != len(shape):
+            return False
+        bindings = env if env is not None else {}
+        for dim, actual in zip(dims, shape):
+            if dim.isdigit():
+                if int(dim) != actual:
+                    return False
+            else:
+                bound = bindings.setdefault(dim, actual)
+                if bound != actual:
+                    return False
+        return True
+
+
+__all__ = ["Shape", "parse_dims"]

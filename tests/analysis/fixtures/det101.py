@@ -1,0 +1,25 @@
+"""Known-bad fixture for DET101 (linted as if under src/repro/)."""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(1234)  # module-global stream
+
+
+def constant_seed() -> np.ndarray:
+    base = 7
+    mixed = base * 2 + 1
+    rng = np.random.default_rng(mixed)  # const-only lineage through locals
+    return rng.random(3)
+
+
+def untraceable(options: dict) -> np.ndarray:
+    magic = options["anything"]
+    rng = np.random.default_rng(magic)  # no seed parameter in the lineage
+    return rng.random(3)
+
+
+def rng_into_boundary(jobs, walk_seed: int):
+    from repro.fleet import run_walks
+
+    rng = np.random.default_rng(walk_seed)  # fine: seed-named lineage
+    return run_walks(jobs, rng)  # but the generator crosses the boundary

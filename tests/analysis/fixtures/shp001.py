@@ -1,0 +1,27 @@
+"""Known-bad fixture for SHP001 (linted as if under src/repro/)."""
+
+from typing import Annotated
+
+import numpy as np
+
+from repro.shapes import Shape
+
+
+def mix_axes(
+    tx: Annotated[np.ndarray, Shape("(M, 2)")],
+    rx: Annotated[np.ndarray, Shape("(N, 2)")],
+) -> np.ndarray:
+    return tx + rx  # M and N are declared independent
+
+
+def bad_matmul(design: Annotated[np.ndarray, Shape("(n, p)")]) -> np.ndarray:
+    gram = np.zeros((3, 4))
+    return gram @ np.zeros((5, 5))  # inner dims 4 vs 5
+
+
+def kernel(points: Annotated[np.ndarray, Shape("(N, 2)")]) -> np.ndarray:
+    return points
+
+
+def caller(surface: Annotated[np.ndarray, Shape("(N, 3)")]) -> np.ndarray:
+    return kernel(surface)  # literal axis 3 against contract's 2

@@ -1,0 +1,172 @@
+"""The dataflow IR: origin resolution, scoping, and the call graph."""
+
+import ast
+
+from repro.analysis.dataflow import (
+    CallGraph,
+    CallSite,
+    FunctionDataflow,
+    function_calls,
+    module_functions,
+    module_global_assigns,
+    module_name,
+)
+from repro.analysis.names import import_bindings
+
+
+def flow_of(text: str, name: str | None = None) -> FunctionDataflow:
+    tree = ast.parse(text)
+    bindings = import_bindings(tree)
+    funcs = {q: f for q, f in module_functions(tree)}
+    func = funcs[name] if name else next(iter(funcs.values()))
+    return FunctionDataflow(func, bindings)
+
+
+def origins_of(text: str, var: str, name: str | None = None):
+    flow = flow_of(text, name)
+    return flow.origins(ast.parse(var, mode="eval").body)
+
+
+def kinds(origins):
+    return sorted({o.kind for o in origins})
+
+
+class TestOriginResolution:
+    def test_param_and_constant(self):
+        text = "def f(seed):\n    x = seed\n    y = 3\n"
+        assert kinds(origins_of(text, "x")) == ["param"]
+        assert kinds(origins_of(text, "y")) == ["const"]
+
+    def test_arithmetic_and_tuple_packing_preserve_lineage(self):
+        text = (
+            "def f(walk_seed, step):\n"
+            "    base = walk_seed + 1000\n"
+            "    packed = (base, step, 1)\n"
+        )
+        origins = origins_of(text, "packed")
+        details = {o.detail for o in origins if o.kind == "param"}
+        assert details == {"walk_seed", "step"}
+
+    def test_tuple_unpacking_pairs_elementwise(self):
+        text = "def f(a, b):\n    x, y = a, b\n"
+        assert {o.detail for o in origins_of(text, "x")} == {"a"}
+        assert {o.detail for o in origins_of(text, "y")} == {"b"}
+
+    def test_attribute_chains_extend_param_detail(self):
+        text = "def f(job):\n    s = job.fault_plan.seed\n"
+        (origin,) = origins_of(text, "s")
+        assert origin.kind == "attribute"
+        assert origin.detail == "job.fault_plan.seed"
+
+    def test_defaults_fold_into_param_origins(self):
+        text = "def f(tags=[]):\n    x = tags\n"
+        assert kinds(origins_of(text, "x")) == ["container", "param"]
+
+    def test_lambda_and_local_function(self):
+        text = (
+            "def f():\n"
+            "    cb = lambda v: v\n"
+            "    def helper():\n"
+            "        pass\n"
+            "    g = helper\n"
+        )
+        assert kinds(origins_of(text, "cb")) == ["lambda"]
+        assert kinds(origins_of(text, "g")) == ["function"]
+
+    def test_passthrough_builtins_keep_lineage(self):
+        text = "def f(seed):\n    x = int(abs(seed))\n"
+        (origin,) = origins_of(text, "x")
+        assert origin.kind == "param" and origin.detail == "seed"
+
+    def test_opaque_call_is_a_call_origin(self):
+        text = "import os\ndef f():\n    x = os.getpid()\n"
+        (origin,) = origins_of(text, "x")
+        assert origin.kind == "call" and origin.detail == "os.getpid"
+
+    def test_import_bindings_canonicalize_attribute_roots(self):
+        text = "import numpy as np\ndef f():\n    x = np.pi\n"
+        (origin,) = origins_of(text, "x")
+        assert origin.kind == "import" and origin.detail == "numpy.pi"
+
+    def test_self_reassignment_terminates(self):
+        text = "def f(n):\n    x = 0\n    x = x + n\n"
+        assert kinds(origins_of(text, "x")) == ["const", "param"]
+
+    def test_nested_function_assignments_stay_scoped(self):
+        text = (
+            "def outer(seed):\n"
+            "    def inner():\n"
+            "        shadow = 42\n"
+            "    shadow = seed\n"
+        )
+        flow = flow_of(text, "outer")
+        origins = flow.origins(ast.parse("shadow", mode="eval").body)
+        assert kinds(origins) == ["param"]
+
+    def test_for_loop_and_enumerate_targets(self):
+        text = (
+            "def f(seeds):\n"
+            "    for s in seeds:\n"
+            "        pass\n"
+            "    for i, s2 in enumerate(seeds):\n"
+            "        pass\n"
+        )
+        assert {o.detail for o in origins_of(text, "s")} == {"seeds"}
+        assert {o.detail for o in origins_of(text, "s2")} == {"seeds"}
+
+    def test_comprehension_targets_bind_to_iterable(self):
+        text = "def f(jobs):\n    picked = [j for j in jobs]\n"
+        origins = origins_of(text, "picked")
+        assert "container" in kinds(origins)
+        assert {o.detail for o in origins if o.kind == "param"} == {"jobs"}
+
+
+class TestModuleViews:
+    def test_module_functions_qualify_methods(self):
+        tree = ast.parse(
+            "def top():\n    pass\n"
+            "class Box:\n"
+            "    def method(self):\n        pass\n"
+        )
+        names = [q for q, _ in module_functions(tree)]
+        assert names == ["top", "Box.method"]
+
+    def test_module_global_assigns(self):
+        tree = ast.parse("A = 1\nB: int = 2\nc, d = 3, 4\n")
+        names = [n for names, _ in module_global_assigns(tree) for n in names]
+        assert names == ["A", "B"]
+
+    def test_module_name_from_display_path(self):
+        assert module_name("src/repro/radio/kernels.py") == "repro.radio.kernels"
+        assert module_name("repro/cli.py") == "repro.cli"
+        assert module_name("scripts/tool.py") == "tool"
+
+
+class TestCallGraph:
+    TEXT = (
+        "from repro.fleet import run_walks\n"
+        "def plan():\n    return build()\n"
+        "def build():\n    return run_walks([])\n"
+    )
+
+    def test_function_calls_canonicalize_and_qualify(self):
+        sites = function_calls(ast.parse(self.TEXT), "src/repro/eval/x.py")
+        edges = {(s.caller, s.callee) for s in sites}
+        assert ("repro.eval.x.plan", "repro.eval.x.build") in edges
+        assert (
+            "repro.eval.x.build",
+            "repro.fleet.run_walks",
+        ) in edges
+
+    def test_graph_joins_facts_across_files(self):
+        sites = function_calls(ast.parse(self.TEXT), "src/repro/eval/x.py")
+        graph = CallGraph.from_facts(
+            [("src/repro/eval/x.py", [s.to_dict() for s in sites])]
+        )
+        assert "repro.fleet.run_walks" in graph.callees("repro.eval.x.build")
+        assert graph.callers("repro.eval.x.build") == {"repro.eval.x.plan"}
+        assert graph.callees("repro.eval.x.nope") == frozenset()
+
+    def test_call_site_roundtrip(self):
+        site = CallSite(caller="a.b", callee="c.d", line=3, col=7)
+        assert CallSite.from_dict(site.to_dict()) == site

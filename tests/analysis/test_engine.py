@@ -73,6 +73,39 @@ class TestCaching:
         report = LintEngine(cache_path=cache).lint_paths([pkg])
         assert report.n_cached == 0
 
+    def test_rule_source_change_invalidates_cache(self, tmp_path):
+        """Editing a rule's logic must be a cache miss even when the
+        author forgets to bump ``version`` — the fingerprint hashes the
+        rule class source, not just the (id, version) pair."""
+        from repro.analysis.engine import Rule, rules_fingerprint
+
+        class EditionOne(Rule):
+            id = "TST001"
+            version = 1
+
+            def check(self, file):
+                return [], None
+
+        class EditionTwo(Rule):
+            id = "TST001"
+            version = 1
+
+            def check(self, file):
+                return [self.finding(file, file.tree, "changed logic")], None
+
+        assert rules_fingerprint([EditionOne()]) != rules_fingerprint(
+            [EditionTwo()]
+        )
+
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "lint-cache.json"
+        LintEngine(rules=[EditionOne()], cache_path=cache).lint_paths([pkg])
+        report = LintEngine(rules=[EditionTwo()], cache_path=cache).lint_paths(
+            [pkg]
+        )
+        assert report.n_cached == 0
+        assert [f.message for f in report.findings] == ["changed logic"]
+
     def test_corrupt_cache_is_treated_as_cold(self, tmp_path):
         pkg = make_tree(tmp_path)
         cache = tmp_path / "lint-cache.json"

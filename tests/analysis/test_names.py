@@ -1,0 +1,97 @@
+"""Alias canonicalization edge cases in :mod:`repro.analysis.names`.
+
+The rules only see canonical spellings, so every aliasing form Python
+allows must collapse to the same dotted path — in particular the
+submodule-alias forms (``import numpy.random as npr``, ``from numpy
+import random as r``) that route the *module*, not a function, through
+a new local name.
+"""
+
+import ast
+
+from repro.analysis.names import (
+    canonical_call,
+    canonicalize,
+    dotted_name,
+    import_bindings,
+)
+
+
+def call_canonical(text: str) -> str | None:
+    tree = ast.parse(text)
+    bindings = import_bindings(tree)
+    call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+    return canonical_call(call, bindings)
+
+
+class TestSubmoduleAliases:
+    def test_import_submodule_as_alias(self):
+        # import numpy.random as npr: the alias names the submodule.
+        assert (
+            call_canonical("import numpy.random as npr\nnpr.normal()")
+            == "numpy.random.normal"
+        )
+
+    def test_from_import_submodule_as_alias(self):
+        # from numpy import random as r: same submodule, other syntax.
+        assert (
+            call_canonical("from numpy import random as r\nr.default_rng(0)")
+            == "numpy.random.default_rng"
+        )
+
+    def test_plain_submodule_import_binds_only_the_root(self):
+        bindings = import_bindings(ast.parse("import numpy.random"))
+        assert bindings == {"numpy": "numpy"}
+        assert (
+            call_canonical("import numpy.random\nnumpy.random.normal()")
+            == "numpy.random.normal"
+        )
+
+    def test_function_alias(self):
+        assert (
+            call_canonical(
+                "from numpy.random import default_rng as rng\nrng(0)"
+            )
+            == "numpy.random.default_rng"
+        )
+
+
+class TestNestedReExports:
+    def test_module_object_reexported_from_package(self):
+        # from repro.analysis import engine: attribute access through the
+        # re-exported module object canonicalizes to the defining module.
+        assert (
+            call_canonical(
+                "from repro.analysis import engine\nengine.rules_fingerprint([])"
+            )
+            == "repro.analysis.engine.rules_fingerprint"
+        )
+
+    def test_deep_attribute_chain_through_alias(self):
+        assert (
+            call_canonical("import numpy as np\nnp.random.default_rng(0)")
+            == "numpy.random.default_rng"
+        )
+
+    def test_aliased_name_shadows_literal_module(self):
+        # A local alias wins over the spelled-out root: ``np`` maps to
+        # numpy even when another module is also named in the file.
+        text = "import numpy as np\nimport time\nnp.random.normal()"
+        assert call_canonical(text) == "numpy.random.normal"
+
+
+class TestResolutionBasics:
+    def test_dotted_name_rejects_non_chains(self):
+        call = ast.parse("(a + b).method()").body[0].value
+        assert dotted_name(call.func) is None
+
+    def test_canonicalize_passes_unknown_heads_through(self):
+        assert canonicalize("mystery.call", {}) == "mystery.call"
+
+    def test_relative_imports_are_skipped(self):
+        bindings = import_bindings(ast.parse("from . import sibling"))
+        assert bindings == {}
+
+    def test_star_imports_are_skipped(self):
+        bindings = import_bindings(ast.parse("from numpy import *"))
+        assert bindings == {}

@@ -119,6 +119,146 @@ class TestUNIT001:
         assert lint_fixture("unit001.py", "src/repro/eval/fixture.py") == []
 
 
+class TestDET101:
+    def test_flags_every_lineage_break(self):
+        findings = lint_fixture("det101.py", "src/repro/schemes/fixture.py")
+        assert rules_of(findings) == ["DET101"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "module global 'GLOBAL_RNG'" in messages
+        assert "seeded from constants only" in messages
+        assert "does not derive from any seed parameter" in messages
+        assert "flows into run_walks()" in messages
+
+    def test_tests_are_out_of_scope(self):
+        assert lint_fixture("det101.py", "tests/test_fixture.py") == []
+
+    def test_seed_lineage_through_aliases_and_arithmetic(self):
+        text = (
+            "import numpy as np\n"
+            "def go(walk_seed: int, step: int) -> None:\n"
+            "    base = walk_seed + 1000\n"
+            "    packed = (base, step, 1)\n"
+            "    rng = np.random.default_rng(packed)\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+    def test_attribute_chain_lineage(self):
+        text = (
+            "import numpy as np\n"
+            "def go(self_like, job) -> None:\n"
+            "    rng = np.random.default_rng(job.walk_seed + 777)\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+    def test_dataclass_seed_field_lineage(self):
+        # The particle-filter shape: a dataclass seed field feeds the
+        # placeholder RNG in __post_init__.
+        text = (
+            "import numpy as np\n"
+            "class Filter:\n"
+            "    def __post_init__(self) -> None:\n"
+            "        self._rng = np.random.default_rng(self.seed)\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+
+class TestPUR101:
+    def test_flags_every_smuggled_impurity(self):
+        findings = lint_fixture("pur101.py", "src/repro/eval/fixture.py")
+        assert rules_of(findings) == ["PUR101"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "can carry a lambda" in messages
+        assert "locally-defined function 'progress'" in messages
+        assert "mutable listcomp" in messages
+        assert "field fault_plan of WalkJob()" in messages
+
+    def test_direct_lambda_left_to_pur001(self):
+        text = (
+            "def go(jobs):\n"
+            "    from repro.fleet import run_walks\n"
+            "    return run_walks(jobs, tracer=lambda name: None)\n"
+        )
+        engine = LintEngine(cache_path=None)
+        findings = engine.lint_text(text, display="src/repro/fixture.py")
+        assert rules_of(findings) == ["PUR001"]
+
+    def test_jobs_list_is_not_a_mutable_field(self):
+        # The jobs argument of run_walks is legitimately a list; only
+        # WalkJob *fields* must be immutable.
+        text = (
+            "def go(specs):\n"
+            "    from repro.fleet import run_walks\n"
+            "    jobs = [spec for spec in specs]\n"
+            "    return run_walks(jobs)\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+    def test_tests_are_out_of_scope(self):
+        assert lint_fixture("pur101.py", "tests/test_fixture.py") == []
+
+
+class TestSHP001:
+    def test_flags_broadcast_matmul_and_contract_breaks(self):
+        findings = lint_fixture("shp001.py", "src/repro/radio/fixture.py")
+        assert rules_of(findings) == ["SHP001"] * 3
+        messages = " | ".join(f.message for f in findings)
+        assert "broadcast mismatch: dim 'M' vs 'N'" in messages
+        assert "matmul inner-dim mismatch: (3, 4) @ (5, 5)" in messages
+        assert "axis 1 is 3, contract requires 2" in messages
+
+    def test_consistent_shapes_are_clean(self):
+        text = (
+            "import numpy as np\n"
+            "from typing import Annotated\n"
+            "from repro.shapes import Shape\n"
+            "def kernel(\n"
+            '    tx: Annotated[np.ndarray, Shape("(M, 2)")],\n'
+            '    rx: Annotated[np.ndarray, Shape("(N, 2)")],\n'
+            ') -> Annotated[np.ndarray, Shape("(N, M)")]:\n'
+            "    d = np.hypot(\n"
+            "        rx[:, 0][:, None] - tx[:, 0],\n"
+            "        rx[:, 1][:, None] - tx[:, 1],\n"
+            "    )\n"
+            "    return d\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+    def test_symbol_rebinding_to_two_literals_is_flagged(self):
+        text = (
+            "import numpy as np\n"
+            "from typing import Annotated\n"
+            "from repro.shapes import Shape\n"
+            "def f(\n"
+            '    a: Annotated[np.ndarray, Shape("(N,)")],\n'
+            '    b: Annotated[np.ndarray, Shape("(N,)")],\n'
+            ") -> None:\n"
+            "    pass\n"
+            "def caller() -> None:\n"
+            "    f(np.zeros(3), np.zeros(4))\n"
+        )
+        engine = LintEngine(cache_path=None)
+        findings = engine.lint_text(text, display="src/repro/fixture.py")
+        assert rules_of(findings) == ["SHP001"]
+        assert "already bound to 3" in findings[0].message
+
+    def test_unknown_dims_stay_silent(self):
+        text = (
+            "import numpy as np\n"
+            "from typing import Annotated\n"
+            "from repro.shapes import Shape\n"
+            "def f(a: Annotated[np.ndarray, Shape('(N, 2)')]) -> np.ndarray:\n"
+            "    other = np.asarray(object())\n"
+            "    return a + other\n"
+        )
+        engine = LintEngine(cache_path=None)
+        assert engine.lint_text(text, display="src/repro/fixture.py") == []
+
+
 def test_every_rule_has_a_fixture():
     """Adding a rule without pinning its behavior is a lint-on-lint bug."""
     from repro.analysis import default_rules
