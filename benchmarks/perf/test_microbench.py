@@ -55,6 +55,25 @@ def test_scan_generation_is_faster_batched(bench_report):
     assert bench_report.speedups()["scan_generation"] > 1.0
 
 
+def test_population_kernel_benches_ran(bench_report):
+    """The population core's lane-batched twins report both variants."""
+    for bench in ("posterior_grid", "survey_match"):
+        for variant in ("scalar", "kernel"):
+            timing = bench_report.results[f"{bench}.{variant}"]
+            assert timing.p50_ms > 0.0
+
+
+def test_survey_match_is_faster_batched(bench_report):
+    """``distances_batch`` must at least beat K ``distances`` passes.
+
+    No 10x floor here: byte-identity pins the batched matcher to the
+    scalar reduction's operand order, so it only amortizes per-call
+    dispatch (~2x observed); the gate is against silently regressing
+    to slower-than-scalar.
+    """
+    assert bench_report.speedups()["survey_match"] > 1.0
+
+
 def test_report_roundtrips_through_disk(bench_report, tmp_path):
     from repro.bench import load_report
 

@@ -487,6 +487,7 @@ class _FunctionShapeChecker:
             return None
         axis_value: int | None = None
         has_axis = False
+        keepdims = False
         for keyword in expr.keywords:
             if keyword.arg == "axis":
                 has_axis = True
@@ -500,7 +501,14 @@ class _FunctionShapeChecker:
                     operand = keyword.value.operand.value
                     if isinstance(operand, int):
                         axis_value = -operand
+            elif keyword.arg == "keepdims":
+                if isinstance(keyword.value, ast.Constant):
+                    keepdims = bool(keyword.value.value)
+                else:
+                    return None  # dynamic keepdims: shape unknowable
         if not has_axis and not expr.args:
+            if keepdims:
+                return ("1",) * len(receiver)
             return ()  # full reduction
         if axis_value is None:
             return None
@@ -508,6 +516,9 @@ class _FunctionShapeChecker:
             normalized = axis_value % len(receiver)
         except ZeroDivisionError:
             return None
+        if keepdims:
+            # The reduced axis survives as a broadcastable length-1 dim.
+            return receiver[:normalized] + ("1",) + receiver[normalized + 1 :]
         return receiver[:normalized] + receiver[normalized + 1 :]
 
     def _reshape(self, expr: ast.Call) -> tuple[str | None, ...] | None:
@@ -579,7 +590,7 @@ class ShapeContracts(Rule):
     id = "SHP001"
     tier = "error"
     title = "symbolic shape-contract violation"
-    version = 1
+    version = 2
 
     def check(self, file: SourceFile) -> tuple[list[Finding], Any]:
         if not file.in_src:

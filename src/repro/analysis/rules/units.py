@@ -12,6 +12,7 @@ radio-adjacent modules, where every bare quantity is a latent unit bug.
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 from typing import Any
 
 from repro.analysis.engine import Finding, Rule, SourceFile
@@ -21,6 +22,16 @@ _UNIT_MODULES = (
     "repro/geometry/",
     "repro/world/",
     "repro/radio/",
+    "repro/sensors/",
+    "repro/core/",
+)
+
+#: Modules where UNIT001 findings are promoted to the error tier: the
+#: filter/sensor layer is where a unitless ``dt`` or ``accuracy``
+#: actually corrupts physics (a seconds-vs-milliseconds slip in the
+#: Kalman transition is silent), so there the convention gates the build.
+_ERROR_MODULES = (
+    "repro/core/",
     "repro/sensors/",
 )
 
@@ -43,6 +54,7 @@ UNIT_SUFFIXES = (
 _QUANTITIES = {
     "spacing": "spacing_m",
     "radius": "radius_m",
+    "accuracy": "accuracy_m",
     "distance": "distance_m",
     "altitude": "altitude_m",
     "elevation": "elevation_m",
@@ -55,6 +67,7 @@ _QUANTITIES = {
     "rssi": "rssi_dbm",
     "power": "power_dbm",
     "duration": "duration_s",
+    "dt": "dt_s",
     "interval": "interval_s",
     "timeout": "timeout_s",
     "latency": "latency_ms",
@@ -90,19 +103,22 @@ def _is_numeric(annotation: ast.expr | None, default: ast.expr | None) -> bool:
 
 
 class UnitSuffixConvention(Rule):
-    """UNIT001 (warn): numeric quantity parameters name their unit.
+    """UNIT001: numeric quantity parameters name their unit.
 
-    In the geometry/world/radio/sensors modules, a numeric parameter
-    whose name is a bare physical quantity (``spacing``, ``radius``,
-    ``heading``, ...) is flagged with the conventional suffixed
-    spelling.  Warn tier: naming is a convention, not a correctness
-    proof — but the fix is a rename, so there is little excuse.
+    In the geometry/world/radio/sensors/core modules, a numeric
+    parameter whose name is a bare physical quantity (``spacing``,
+    ``radius``, ``heading``, ``dt``, ...) is flagged with the
+    conventional suffixed spelling.  Warn tier by default: naming is a
+    convention, not a correctness proof — but the fix is a rename, so
+    there is little excuse.  In ``repro/core/`` and ``repro/sensors/``
+    (see ``_ERROR_MODULES``) the finding is promoted to the error tier
+    and gates the build.
     """
 
     id = "UNIT001"
     tier = "warn"
     title = "missing unit suffix on physical quantity"
-    version = 1
+    version = 2
 
     def check(self, file: SourceFile) -> tuple[list[Finding], Any]:
         if not file.in_src or not any(
@@ -111,10 +127,51 @@ class UnitSuffixConvention(Rule):
             return [], None
         findings: list[Finding] = []
         for node in ast.walk(file.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            findings.extend(self._check_signature(file, node))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_signature(file, node))
+            elif isinstance(node, ast.ClassDef):
+                findings.extend(self._check_fields(file, node))
         return findings, None
+
+    def _check_fields(self, file: SourceFile, node: ast.ClassDef) -> list[Finding]:
+        """Flag bare-quantity annotated class fields (dataclass style).
+
+        A dataclass field is a constructor parameter in disguise — a
+        ``dt: float`` on a filter config leaks into every call site —
+        so fields follow the same suffix convention as signatures.
+        """
+        findings: list[Finding] = []
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            target = statement.target
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.endswith(UNIT_SUFFIXES):
+                continue
+            suggested = _QUANTITIES.get(name)
+            if suggested is None:
+                continue
+            if not _is_numeric(statement.annotation, statement.value):
+                continue
+            findings.append(
+                self._tiered(
+                    file,
+                    target,
+                    f"field {name!r} of {node.name} is a physical "
+                    f"quantity without a unit suffix; rename to "
+                    f"{suggested!r}",
+                )
+            )
+        return findings
+
+    def _tiered(self, file: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Build a finding, promoted to error tier in ``_ERROR_MODULES``."""
+        found = self.finding(file, node, message)
+        if any(fragment in file.display for fragment in _ERROR_MODULES):
+            found = replace(found, tier="error")
+        return found
 
     def _check_signature(
         self, file: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
@@ -140,7 +197,7 @@ class UnitSuffixConvention(Rule):
             if not _is_numeric(argument.annotation, default):
                 continue
             findings.append(
-                self.finding(
+                self._tiered(
                     file,
                     argument,
                     f"parameter {name!r} of {node.name}() is a physical "

@@ -88,7 +88,7 @@ def nearest_reference(
     if k <= 0:
         raise ValueError("k must be positive")
     scored = [
-        (entry, rssi_distance_reference(rssi_dbm, entry.rssi))
+        (entry, rssi_distance_reference(rssi_dbm, entry.rssi_dbm))
         for entry in entries
     ]
     scored.sort(key=lambda pair: pair[1])

@@ -325,6 +325,135 @@ def _walk_step_bench(
     }
 
 
+def _population_kernel_bench(
+    setup: Any, scans: list[dict[str, float]], seed: int, repeats: int
+) -> dict[str, Timing]:
+    """The population core's lane-batched kernels vs their scalar twins.
+
+    These isolate what lane-batching amortizes: the posterior rasterizer
+    (``gaussian_posteriors`` vs one ``gaussian_posterior`` call per
+    lane) and the survey matcher (``distances_batch`` vs one
+    ``distances`` pass per lane), both on the place's real BMA grid and
+    survey.  The ratios are modest by design: byte-identity pins the
+    batched twins to the scalar reductions' operand order and chunk
+    sizes, so they amortize Python/numpy dispatch but cannot
+    restructure the math (see ROADMAP "population core").
+    """
+    from repro.geometry import Point
+    from repro.radio.kernels import compile_fingerprints
+
+    grid = setup.place.grid(2.0)
+    rng = np.random.default_rng(seed + 47)
+    means = np.column_stack(
+        [
+            rng.uniform(grid.min_x, grid.max_x, size=256),
+            rng.uniform(grid.min_y, grid.max_y, size=256),
+        ]
+    )
+    sigmas = rng.uniform(1.0, 12.0, size=256)
+    mean_points = [Point(float(x), float(y)) for x, y in means]
+
+    def posterior_scalar() -> None:
+        for point, sigma in zip(mean_points, sigmas):
+            grid.gaussian_posterior(point, float(sigma))
+
+    def posterior_kernel() -> None:
+        grid.gaussian_posteriors(means, sigmas)
+
+    compiled = compile_fingerprints(setup.wifi_db)
+    batch = (scans * 8)[:256] if scans else [{}]
+
+    def match_scalar() -> None:
+        for scan in batch:
+            compiled.distances(scan)
+
+    def match_kernel() -> None:
+        compiled.distances_batch(batch)
+
+    return {
+        "posterior_grid.scalar": time_callable(posterior_scalar, repeats),
+        "posterior_grid.kernel": time_callable(posterior_kernel, repeats),
+        "survey_match.scalar": time_callable(match_scalar, repeats),
+        "survey_match.kernel": time_callable(match_kernel, repeats),
+    }
+
+
+#: Lane count for the end-to-end population bench.  Big enough that the
+#: batched pre-pass amortizes across lanes, small enough for CI smoke.
+_POPULATION_LANES = 32
+
+#: Steps replayed per timed iteration of the population bench.
+_POPULATION_STEPS = 8
+
+
+def _population_step_bench(
+    setup: Any, models: Any, seed: int, repeats: int
+) -> dict[str, Timing]:
+    """Per-walker-step cost: scalar lane stepping vs ``step_batch``.
+
+    Both variants run the *shipped* code paths on identical lanes:
+    ``scalar`` steps each framework with ``use_population=False`` (the
+    pre-redesign serial pipeline), ``kernel`` advances all lanes through
+    one :class:`~repro.core.population.PopulationFramework`.  Timings
+    are normalized to milliseconds per walker-step.  The ratio is
+    deliberately honest — byte-identity forces the batched path to
+    retire each lane through the same per-lane control flow, so the
+    speedup here is bounded by the pre-pass share of a step (measured
+    ~1.6x at 32 lanes), while ``posterior_grid`` / ``survey_match``
+    isolate the amortized pre-pass kernels themselves.
+    """
+    from repro.core.population import PopulationFramework
+    from repro.eval.setup import build_framework
+
+    def build_lanes(use_population: bool):
+        lanes = []
+        for lane_idx in range(_POPULATION_LANES):
+            walk, snapshots = setup.record_walk(
+                "survey",
+                walk_seed=seed + 1000 + lane_idx,
+                trace_seed=seed + 2000 + lane_idx,
+                max_length=12.0,
+            )
+            framework = build_framework(
+                setup, models, walk.moments[0].position, scheme_seed=seed + lane_idx
+            )
+            framework.use_population = use_population
+            lanes.append((framework, snapshots[:_POPULATION_STEPS]))
+        return lanes
+
+    scalar_lanes = build_lanes(False)
+    n_steps = min(len(snaps) for _, snaps in scalar_lanes)
+
+    def scalar() -> None:
+        for framework, snapshots in scalar_lanes:
+            framework.reset()
+        for step in range(n_steps):
+            for framework, snapshots in scalar_lanes:
+                framework.step(snapshots[step])
+
+    batched_lanes = build_lanes(False)
+    population = PopulationFramework([fw for fw, _ in batched_lanes])
+
+    def kernel() -> None:
+        population.reset()
+        for step in range(n_steps):
+            population.step_batch([snaps[step] for _, snaps in batched_lanes])
+
+    per_walker_step = 1.0 / (_POPULATION_LANES * max(n_steps, 1))
+
+    def normalized(timing: Timing) -> Timing:
+        return Timing(
+            p50_ms=timing.p50_ms * per_walker_step,
+            p90_ms=timing.p90_ms * per_walker_step,
+            n_iterations=timing.n_iterations,
+        )
+
+    return {
+        "population_step.scalar": normalized(time_callable(scalar, repeats)),
+        "population_step.kernel": normalized(time_callable(kernel, repeats)),
+    }
+
+
 def run_benches(
     place_name: str = "office",
     seed: int = 0,
@@ -354,11 +483,15 @@ def run_benches(
     results.update(_shadowing_bench(setup, seed, repeats))
     results.update(_fingerprint_bench(setup, scans, repeats))
     results.update(_scan_bench(setup, seed, repeats))
+    results.update(_population_kernel_bench(setup, scans, seed, repeats))
     if include_walk_step:
         models = cache.error_models(seed)
         framework = build_framework(setup, models, walk.moments[0].position)
         results.update(
             _walk_step_bench(setup, snapshots, framework, max(repeats // 4, 3))
+        )
+        results.update(
+            _population_step_bench(setup, models, seed, max(repeats // 2, 5))
         )
     return BenchReport(
         place=place_name, seed=seed, created_at=now_s(), results=results

@@ -173,6 +173,30 @@ class LinearErrorModel:
             x = np.append(x, 1.0)
         return max(float(x @ self._beta), 0.0)
 
+    def predict_batch(
+        self, features: Annotated[np.ndarray, Shape("(N, p)")]
+    ) -> Annotated[np.ndarray, Shape("(N,)")]:
+        """Predict errors for ``N`` walkers in one design-matrix matmul.
+
+        The population-scale twin of :meth:`predict`: ``features`` rows
+        are ordered like ``feature_names``.  Matches the scalar path to
+        ~1 ulp but is **not** bit-identical (BLAS gemv vs per-row dot),
+        so the per-walker decision path keeps calling :meth:`predict`.
+
+        Raises:
+            RuntimeError: if the model is unfitted.
+            ValueError: on a feature-width mismatch.
+        """
+        if self._beta is None:
+            raise RuntimeError("error model has not been fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"features must be (N, {len(self.feature_names)}), got {features.shape}"
+            )
+        x = self._design_matrix(features)
+        return np.maximum(x @ self._beta, 0.0)
+
 
     def to_dict(self) -> dict:
         """Serialize the model (including fitted state) to plain data.

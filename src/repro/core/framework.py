@@ -199,6 +199,11 @@ class UniLocFramework:
             but wildly wrong coordinate (a garbage scheme output) is as
             poisonous as a NaN.  The default is far beyond any honest
             scheme's worst-case error; None disables the gate.
+        use_population: route :meth:`step` through a population of size 1
+            (:class:`repro.core.population.PopulationFramework`), which
+            primes the batched kernels and memoized geometry features.
+            Results are byte-identical either way; set False for the
+            pure-legacy scalar path (reference semantics, benchmarking).
     """
 
     place: Place
@@ -217,6 +222,7 @@ class UniLocFramework:
     quarantine_max_steps: int = 256
     confidence_decay_steps: int = 5
     implausible_margin_m: float | None = 500.0
+    use_population: bool = True
 
     def __post_init__(self) -> None:
         if not self.bundles:
@@ -236,6 +242,11 @@ class UniLocFramework:
             name: SchemeHealth() for name in self.bundles
         }
         self._bounds = self.place.boundary.bounding_box()
+        # Lazily-built population-of-1 backing :meth:`step`, plus the
+        # per-step handoff slot for pre-rasterized BMA posteriors (scheme
+        # name -> (output, posterior row), identity-checked at use).
+        self._population = None
+        self._population_posteriors: dict[str, tuple[SchemeOutput, np.ndarray]] = {}
 
     @property
     def grid(self) -> Grid:
@@ -255,7 +266,10 @@ class UniLocFramework:
         self._hmm.reset()
         self._step_index = 0
         self._health = {name: SchemeHealth() for name in self.bundles}
+        self._population_posteriors.clear()
         for bundle in self.bundles.values():
+            if getattr(bundle.scheme, "_population_primed", None) is not None:
+                del bundle.scheme._population_primed
             bundle.scheme.reset()
 
     def add_scheme(self, name: str, bundle: SchemeBundle) -> None:
@@ -272,7 +286,24 @@ class UniLocFramework:
     # ------------------------------------------------------------------
 
     def step(self, snapshot: SensorSnapshot) -> StepDecision:
-        """Run one full UniLoc location estimation."""
+        """Run one full UniLoc location estimation.
+
+        By default the step is routed through a lazily-built population
+        of size 1, so the scalar API transparently benefits from the
+        batched kernels and feature memoization while producing
+        byte-identical decisions; ``use_population=False`` runs the
+        historical scalar path directly.
+        """
+        if self.use_population:
+            if self._population is None:
+                from repro.core.population import PopulationFramework
+
+                self._population = PopulationFramework([self])
+            return self._population.step_batch([snapshot])[0]
+        return self._step_scalar(snapshot)
+
+    def _step_scalar(self, snapshot: SensorSnapshot) -> StepDecision:
+        """Run one step through the scalar pipeline (population lane body)."""
         with self.tracer.span("uniloc.step") as step_span:
             decision = self._step(snapshot)
         self._record_step_metrics(decision, step_span)
@@ -474,7 +505,23 @@ class UniLocFramework:
         framework must not trust them), enforces the optional per-step
         timeout budget, and rejects non-finite outputs.  Latency is
         recorded when tracing is on, exactly as before.
+
+        A population pre-pass may have already computed this scheme's
+        output for exactly this snapshot (``_population_primed``); the
+        prepared output is consumed through the same finite/plausible
+        gates.  The population never primes lanes that trace or enforce a
+        timeout budget, so those paths are untouched.
         """
+        primed = getattr(scheme, "_population_primed", None)
+        if primed is not None:
+            del scheme._population_primed
+            primed_snapshot, output = primed
+            if primed_snapshot is snapshot:
+                if output is not None and not output.is_finite():
+                    return None, "nonfinite"
+                if output is not None and not self._plausible(output.position):
+                    return None, "implausible"
+                return output, None
         budget = self.scheme_timeout_ms
         if self.tracer.enabled:
             with self.tracer.span("scheme.estimate", scheme=name) as span:
@@ -643,13 +690,24 @@ class UniLocFramework:
         weights: dict[str, float],
         confidences: dict[str, float],
     ) -> Point:
-        """Mix scheme posteriors by weight and read out Eq. 4."""
+        """Mix scheme posteriors by weight and read out Eq. 4.
+
+        Point-scheme posteriors may arrive pre-rasterized by the
+        population pre-pass (one batched Gaussian rasterization across
+        all lanes, bit-identical per row); the handoff is identity-checked
+        against the step's actual output so a stale row can never be
+        mixed.
+        """
         mixture = np.zeros(self._grid.n_cells)
         for name, weight in weights.items():
             output = outputs.get(name)
             if output is None or weight <= 0.0:
                 continue
-            mixture += weight * output.grid_posterior(self._grid)
+            prepared = self._population_posteriors.get(name)
+            if prepared is not None and prepared[0] is output:
+                mixture += weight * prepared[1]
+            else:
+                mixture += weight * output.grid_posterior(self._grid)
         if mixture.sum() <= 0.0:
             # Degenerate mixture (all contributions vanished): fall back
             # to the single output the framework trusts most.

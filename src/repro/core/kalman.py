@@ -25,27 +25,27 @@ class KalmanLocationPredictor:
     """Constant-velocity Kalman filter over fused location estimates.
 
     Attributes:
-        dt: nominal time between estimates (the paper's 0.5 s cadence).
+        dt_s: nominal time between estimates (the paper's 0.5 s cadence).
         process_noise: acceleration-noise intensity (m/s^2) — how quickly
             a pedestrian may deviate from constant velocity.
         observation_noise_m: assumed std-dev of the fused estimates fed
             back as observations.
     """
 
-    dt: float = 0.5
+    dt_s: float = 0.5
     process_noise: float = 1.0
     observation_noise_m: float = 2.0
     _state: np.ndarray | None = field(default=None, init=False, repr=False)
     _cov: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.dt <= 0.0:
-            raise ValueError("dt must be positive")
-        dt = self.dt
+        if self.dt_s <= 0.0:
+            raise ValueError("dt_s must be positive")
+        dt_s = self.dt_s
         self._f = np.array(
             [
-                [1.0, 0.0, dt, 0.0],
-                [0.0, 1.0, 0.0, dt],
+                [1.0, 0.0, dt_s, 0.0],
+                [0.0, 1.0, 0.0, dt_s],
                 [0.0, 0.0, 1.0, 0.0],
                 [0.0, 0.0, 0.0, 1.0],
             ]
@@ -54,10 +54,10 @@ class KalmanLocationPredictor:
         # Discretized white-acceleration process noise.
         self._q = q * np.array(
             [
-                [dt**4 / 4, 0.0, dt**3 / 2, 0.0],
-                [0.0, dt**4 / 4, 0.0, dt**3 / 2],
-                [dt**3 / 2, 0.0, dt**2, 0.0],
-                [0.0, dt**3 / 2, 0.0, dt**2],
+                [dt_s**4 / 4, 0.0, dt_s**3 / 2, 0.0],
+                [0.0, dt_s**4 / 4, 0.0, dt_s**3 / 2],
+                [dt_s**3 / 2, 0.0, dt_s**2, 0.0],
+                [0.0, dt_s**3 / 2, 0.0, dt_s**2],
             ]
         )
         self._h = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])

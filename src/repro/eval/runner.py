@@ -8,6 +8,7 @@ tables aggregate.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -122,61 +123,103 @@ class WalkResult:
         return record.scheme_errors.get(estimator)
 
 
+def score_step(place: Place, moment: Moment, decision: StepDecision) -> StepRecord:
+    """Score one framework decision against the ground-truth moment.
+
+    Shared by :func:`run_walk` and the fleet's population runner
+    (:func:`repro.fleet.executor.run_population`), so a record is scored
+    identically no matter which entry point produced the decision.
+    """
+    scheme_errors = {
+        name: output.position.distance_to(moment.position)
+        for name, output in decision.outputs.items()
+        if output is not None
+    }
+    return StepRecord(
+        moment=moment,
+        environment=place.environment_at(moment.position),
+        decision=decision,
+        scheme_errors=scheme_errors,
+        uniloc1_error=(
+            decision.uniloc1_position.distance_to(moment.position)
+            if decision.uniloc1_position is not None
+            else None
+        ),
+        uniloc2_error=(
+            decision.uniloc2_position.distance_to(moment.position)
+            if decision.uniloc2_position is not None
+            else None
+        ),
+        oracle=select_best(decision.outputs, moment.position),
+    )
+
+
 def run_walk(
     framework: UniLocFramework,
     place: Place,
     path_name: str,
     walk: Walk,
     snapshots: list[SensorSnapshot],
+    *deprecated: TraceWriter | None,
     trace: TraceWriter | None = None,
+    telemetry: object | None = None,
+    fault_plan: object | None = None,
+    gps_duty_cycling: bool | None = None,
 ) -> WalkResult:
     """Drive one recorded walk through UniLoc and score every step.
 
-    When ``trace`` is given, every step's decision telemetry plus the
-    ground-truth errors are appended to the JSONL stream as the walk
-    runs (see :mod:`repro.obs.trace_log`), so a crash mid-walk still
-    leaves a replayable prefix on disk.
+    Configuration is keyword-only — the same surface as
+    :func:`~repro.fleet.executor.run_walks` and
+    :func:`~repro.fleet.executor.run_population`:
+
+    * ``trace=``: append every step's decision telemetry plus the
+      ground-truth errors to a JSONL stream as the walk runs (see
+      :mod:`repro.obs.trace_log`), so a crash mid-walk still leaves a
+      replayable prefix on disk.
+    * ``telemetry=``: an event sink attached to the framework before any
+      fault plan is applied, so degradation and injector events stream.
+    * ``fault_plan=``: a :class:`~repro.faults.plan.FaultPlan` applied to
+      the framework (scheme wrappers) and the snapshot trace (sensor
+      corruption) before the walk starts.
+    * ``gps_duty_cycling=``: override the framework's §IV-C GPS power
+      policy flag for this walk (None leaves it as built).
 
     Raises:
         ValueError: if the walk and trace lengths differ.
     """
+    if deprecated:
+        warnings.warn(
+            "positional configuration for run_walk() is deprecated; "
+            "pass trace= as a keyword",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(deprecated) > 1 or trace is not None:
+            raise TypeError("run_walk() accepts at most one trace writer")
+        trace = deprecated[0]
+    if gps_duty_cycling is not None:
+        framework.gps_duty_cycling = gps_duty_cycling
+    if telemetry is not None:
+        framework.telemetry = telemetry
+    if fault_plan is not None:
+        fault_plan.apply(framework)
+        snapshots = fault_plan.corrupt(snapshots)
     if len(walk.moments) != len(snapshots):
         raise ValueError("walk and snapshot trace must be the same length")
     framework.reset()
     result = WalkResult(place_name=place.name, path_name=path_name)
     for moment, snapshot in zip(walk.moments, snapshots):
         decision = framework.step(snapshot)
-        scheme_errors = {
-            name: output.position.distance_to(moment.position)
-            for name, output in decision.outputs.items()
-            if output is not None
-        }
-        oracle = select_best(decision.outputs, moment.position)
-        record = StepRecord(
-            moment=moment,
-            environment=place.environment_at(moment.position),
-            decision=decision,
-            scheme_errors=scheme_errors,
-            uniloc1_error=(
-                decision.uniloc1_position.distance_to(moment.position)
-                if decision.uniloc1_position is not None
-                else None
-            ),
-            uniloc2_error=(
-                decision.uniloc2_position.distance_to(moment.position)
-                if decision.uniloc2_position is not None
-                else None
-            ),
-            oracle=oracle,
-        )
+        record = score_step(place, moment, decision)
         result.records.append(record)
         if trace is not None:
+            oracle = record.oracle
             trace.write_step(
                 decision,
                 index=moment.index,
                 time_s=moment.time_s,
                 environment=record.environment.value,
-                scheme_errors=scheme_errors,
+                scheme_errors=record.scheme_errors,
                 uniloc1_error=record.uniloc1_error,
                 uniloc2_error=record.uniloc2_error,
                 oracle_scheme=oracle.scheme if oracle is not None else None,

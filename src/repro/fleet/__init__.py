@@ -26,6 +26,7 @@ from repro.fleet.executor import (
     WalkJob,
     execute_job,
     iter_walks,
+    run_population,
     run_walks,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "iter_walks",
     "place_builders",
     "place_names",
+    "run_population",
     "run_walks",
     "set_default_cache",
 ]

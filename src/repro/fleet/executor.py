@@ -10,7 +10,12 @@ that engine:
 * :func:`iter_walks` — fan jobs out over a
   :class:`~concurrent.futures.ProcessPoolExecutor` and stream scored
   :class:`~repro.eval.runner.WalkResult`\\ s back as they finish;
-* :func:`run_walks` — the same, collected in job order.
+* :func:`run_walks` — the same, collected in job order;
+* :func:`run_population` — the single-process population twin: every
+  job becomes a lane of one
+  :class:`~repro.core.population.PopulationFramework` and all walks
+  advance together, one batched step index at a time, with results
+  byte-identical to the serial engine.
 
 Determinism is a hard guarantee: every job carries its own explicit
 seeds (no shared random stream crosses a process boundary), so
@@ -48,6 +53,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback as _traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -213,19 +219,14 @@ def _compact_result(result: Any) -> Any:
     return result
 
 
-def execute_job(
-    job: WalkJob,
-    cache: ArtifactCache,
-    telemetry: EventSinkLike | None = None,
-) -> Any:
-    """Run one walk job to a scored ``WalkResult`` (in this process).
+def _prepare_job(job: WalkJob, cache: ArtifactCache) -> tuple[Any, Any, Any, list]:
+    """Materialize one job's ``(framework, setup, walk, snapshots)``.
 
-    When ``telemetry`` is given, it is attached to the framework before
-    the fault plan is applied, so both the framework's degradation
-    lifecycle (contain/quarantine/probe/release) and the injectors'
-    ``fault/inject`` events land in the stream.
+    Shared by :func:`execute_job` (one framework per process/step loop)
+    and :func:`run_population` (all frameworks stepped together); the
+    construction — artifacts, seeds, start noise, framework wiring — is
+    identical, so both paths produce byte-identical walks.
     """
-    from repro.eval.runner import run_walk
     from repro.eval.setup import build_framework
     from repro.geometry import Point
 
@@ -257,13 +258,108 @@ def execute_job(
     # Degradation/fault telemetry flows into whatever registry the
     # caller (or the per-worker snapshot machinery) attached to the cache.
     framework.metrics = cache.metrics
-    if telemetry is not None:
-        framework.telemetry = telemetry
-    if job.fault_plan is not None:
-        job.fault_plan.apply(framework)
-        snaps = job.fault_plan.corrupt(snaps)
-    result = run_walk(framework, setup.place, job.path_name, walk, snaps)
+    return framework, setup, walk, snaps
+
+
+def execute_job(
+    job: WalkJob,
+    cache: ArtifactCache,
+    telemetry: EventSinkLike | None = None,
+) -> Any:
+    """Run one walk job to a scored ``WalkResult`` (in this process).
+
+    When ``telemetry`` is given, it is attached to the framework before
+    the fault plan is applied, so both the framework's degradation
+    lifecycle (contain/quarantine/probe/release) and the injectors'
+    ``fault/inject`` events land in the stream.
+    """
+    from repro.eval.runner import run_walk
+
+    framework, setup, walk, snaps = _prepare_job(job, cache)
+    result = run_walk(
+        framework,
+        setup.place,
+        job.path_name,
+        walk,
+        snaps,
+        telemetry=telemetry,
+        fault_plan=job.fault_plan,
+    )
     return _compact_result(result) if job.compact else result
+
+
+def run_population(
+    jobs: list[WalkJob],
+    *,
+    cache: ArtifactCache | None = None,
+    metrics: MetricsRegistry | None = None,
+    telemetry: EventSinkLike | None = None,
+) -> list[Any]:
+    """Run every job in-process as one batched walker population.
+
+    The population twin of ``run_walks(jobs, workers=1)``: all lane
+    frameworks are built up-front, then advanced together one step index
+    at a time through
+    :meth:`repro.core.population.PopulationFramework.step_batch` — lanes
+    whose walks have already ended simply drop out of later batches.
+    Results are byte-identical to the serial engine (the population
+    pre-pass is bit-exact and the scoring helper is shared), so this is
+    a pure throughput choice for single-machine fleets.
+
+    Unsupported here: per-walk trace writers (record serially for that)
+    and worker-crash containment (everything runs in this process, so
+    job exceptions propagate raw, like ``workers=1``).
+
+    Raises:
+        ValueError: if ``jobs`` is empty (a population needs a lane).
+    """
+    from repro.core.population import PopulationFramework
+    from repro.eval.runner import WalkResult, score_step
+
+    cache = cache if cache is not None else default_cache()
+    previous = cache.metrics
+    if metrics is not None:
+        cache.metrics = metrics
+    try:
+        lanes = []
+        for job in jobs:
+            framework, setup, walk, snaps = _prepare_job(job, cache)
+            if telemetry is not None:
+                framework.telemetry = telemetry
+            if job.fault_plan is not None:
+                job.fault_plan.apply(framework)
+                snaps = job.fault_plan.corrupt(snaps)
+            if len(walk.moments) != len(snaps):
+                raise ValueError("walk and snapshot trace must be the same length")
+            framework.reset()
+            lanes.append((job, framework, setup, walk, snaps))
+        population = PopulationFramework([lane[1] for lane in lanes])
+        results = [
+            WalkResult(place_name=setup.place.name, path_name=job.path_name)
+            for job, _, setup, _, _ in lanes
+        ]
+        for step in range(max(len(lane[4]) for lane in lanes)):
+            active = [k for k, lane in enumerate(lanes) if step < len(lane[4])]
+            decisions = population.step_batch(
+                [lanes[k][4][step] for k in active],
+                lanes=[lanes[k][1] for k in active],
+            )
+            for k, decision in zip(active, decisions):
+                _, _, setup, walk, _ = lanes[k]
+                results[k].records.append(
+                    score_step(setup.place, walk.moments[step], decision)
+                )
+        if metrics is not None:
+            metrics.counter("fleet.walks").inc(len(results))
+            metrics.counter(
+                "fleet.steps"
+            ).inc(sum(len(result.records) for result in results))
+    finally:
+        cache.metrics = previous
+    return [
+        _compact_result(result) if job.compact else result
+        for (job, _, _, _, _), result in zip(lanes, results)
+    ]
 
 
 def _die_once(marker: str) -> None:
@@ -355,8 +451,51 @@ def _job_failure(
     )
 
 
+def _positional_config_shim(
+    name: str, deprecated: tuple, keywords: tuple[str, ...], values: dict[str, Any]
+) -> None:
+    """Map deprecated positional config args onto their keywords, warning.
+
+    The walk entry points (:func:`run_walk`, :func:`iter_walks`,
+    :func:`run_walks`, :func:`run_population`) share one keyword-only
+    configuration surface; positional use keeps working for one
+    deprecation cycle through this shim.
+
+    Raises:
+        TypeError: when a positional argument duplicates an explicit
+            keyword or overflows the historical signature.
+    """
+    if not deprecated:
+        return
+    warnings.warn(
+        f"positional configuration for {name}() is deprecated; pass "
+        f"{', '.join(k + '=' for k in keywords[:len(deprecated)])} as keywords",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if len(deprecated) > len(keywords):
+        raise TypeError(f"{name}() takes at most {len(keywords)} config arguments")
+    for keyword, value in zip(keywords, deprecated):
+        if values[keyword] is not _DEFAULTS[keyword]:
+            raise TypeError(f"{name}() got multiple values for {keyword!r}")
+        values[keyword] = value
+
+
+#: Defaults of the shared keyword-only config surface (used by the shim
+#: to detect positional/keyword collisions).
+_DEFAULTS: dict[str, Any] = {
+    "workers": 1,
+    "cache": None,
+    "metrics": None,
+    "tracer": NOOP_TRACER,
+    "telemetry": None,
+    "on_failure": "raise",
+}
+
+
 def iter_walks(
     jobs: list[WalkJob],
+    *deprecated: Any,
     workers: int = 1,
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
@@ -388,6 +527,31 @@ def iter_walks(
             :func:`~repro.obs.telemetry.telemetry_session` (None = no
             streaming, historical snapshot path).
     """
+    values: dict[str, Any] = {
+        "workers": workers,
+        "cache": cache,
+        "metrics": metrics,
+        "tracer": tracer,
+        "telemetry": telemetry,
+    }
+    _positional_config_shim(
+        "iter_walks",
+        deprecated,
+        ("workers", "cache", "metrics", "tracer", "telemetry"),
+        values,
+    )
+    return _iter_walks(jobs, **values)
+
+
+def _iter_walks(
+    jobs: list[WalkJob],
+    workers: int,
+    cache: ArtifactCache | None,
+    metrics: MetricsRegistry | None,
+    tracer: TracerLike,
+    telemetry: TelemetrySession | None,
+) -> Iterator[tuple[int, Any]]:
+    """Generator behind :func:`iter_walks` (shim applied eagerly there)."""
     cache = cache if cache is not None else default_cache()
     session = telemetry if telemetry is not None else current_session()
     if workers <= 1 or len(jobs) <= 1:
@@ -525,6 +689,7 @@ def iter_walks(
 
 def run_walks(
     jobs: list[WalkJob],
+    *deprecated: Any,
     workers: int = 1,
     cache: ArtifactCache | None = None,
     metrics: MetricsRegistry | None = None,
@@ -555,6 +720,28 @@ def run_walks(
         FleetError: under ``on_failure="raise"`` when any job failed.
         ValueError: for an unknown ``on_failure`` mode.
     """
+    values: dict[str, Any] = {
+        "workers": workers,
+        "cache": cache,
+        "metrics": metrics,
+        "tracer": tracer,
+        "on_failure": on_failure,
+        "telemetry": telemetry,
+    }
+    _positional_config_shim(
+        "run_walks",
+        deprecated,
+        ("workers", "cache", "metrics", "tracer", "on_failure", "telemetry"),
+        values,
+    )
+    workers, cache, metrics, tracer, on_failure, telemetry = (
+        values["workers"],
+        values["cache"],
+        values["metrics"],
+        values["tracer"],
+        values["on_failure"],
+        values["telemetry"],
+    )
     if on_failure not in ("raise", "return"):
         raise ValueError(f"unknown on_failure mode {on_failure!r}")
     results: list[Any] = [None] * len(jobs)

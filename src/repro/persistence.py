@@ -61,7 +61,7 @@ def _read(path: str | Path, expected_format: str) -> dict[str, Any]:
 def fingerprints_to_entries(db: FingerprintDatabase) -> list[dict[str, Any]]:
     """Return a fingerprint database as JSON-ready entry dicts."""
     return [
-        {"x": e.position.x, "y": e.position.y, "rssi": e.rssi} for e in db.entries
+        {"x": e.position.x, "y": e.position.y, "rssi": e.rssi_dbm} for e in db.entries
     ]
 
 
@@ -159,7 +159,7 @@ def _snapshot_to_dict(snap: SensorSnapshot) -> dict[str, Any]:
                 {"period_s": e.period_s, "length_m": e.length_m}
                 for e in snap.imu.step_events
             ],
-            "heading": snap.imu.heading,
+            "heading": snap.imu.heading_rad,
             "heading_bias": snap.imu.heading_bias,
             "orientation_change_rate": snap.imu.orientation_change_rate,
             "magnetic_sigma_ut": snap.imu.magnetic_sigma_ut,
@@ -198,7 +198,7 @@ def _snapshot_from_dict(data: dict[str, Any]) -> SensorSnapshot:
                 StepEvent(e["period_s"], e["length_m"])
                 for e in data["imu"]["step_events"]
             ),
-            heading=float(data["imu"]["heading"]),
+            heading_rad=float(data["imu"]["heading"]),
             heading_bias=float(data["imu"]["heading_bias"]),
             orientation_change_rate=float(data["imu"]["orientation_change_rate"]),
             magnetic_sigma_ut=float(data["imu"]["magnetic_sigma_ut"]),

@@ -38,7 +38,7 @@ class Fingerprint:
     """One surveyed location and its RSSI vector."""
 
     position: Point
-    rssi: dict[str, float]
+    rssi_dbm: dict[str, float]
 
 
 @dataclass

@@ -69,6 +69,10 @@ N_SHADOWING_WAVES = 6
 #: Sum of n independent unit sinusoids has variance n/2; normalize by it.
 _WAVE_NORM = math.sqrt(N_SHADOWING_WAVES / 2.0)
 
+# Bound on memoized spatial-density entries before the cache resets;
+# population queries are grid-snapped so real fleets stay far below this.
+_DENSITY_MEMO_MAX = 100_000
+
 
 # --------------------------------------------------------------------------
 # Shadowing kernels
@@ -363,7 +367,7 @@ class CompiledFingerprintDatabase:
         if not entries:
             raise ValueError("a fingerprint database cannot be empty")
         self.entries: tuple[Fingerprint, ...] = tuple(entries)
-        vocabulary = sorted({key for e in self.entries for key in e.rssi})
+        vocabulary = sorted({key for e in self.entries for key in e.rssi_dbm})
         self.transmitter_ids: tuple[str, ...] = tuple(vocabulary)
         self._column: dict[str, int] = {
             identifier: j for j, identifier in enumerate(vocabulary)
@@ -372,17 +376,18 @@ class CompiledFingerprintDatabase:
             (len(self.entries), len(vocabulary)), MISSING_RSSI_DBM
         )
         for i, entry in enumerate(self.entries):
-            for key, value in entry.rssi.items():
+            for key, value in entry.rssi_dbm.items():
                 matrix[i, self._column[key]] = value
         matrix.setflags(write=False)
         self.matrix = matrix
-        self._n_keys = np.array([len(e.rssi) for e in self.entries])
+        self._n_keys = np.array([len(e.rssi_dbm) for e in self.entries])
         positions_xy = np.array(
             [[e.position.x, e.position.y] for e in self.entries]
         )
         positions_xy.setflags(write=False)
         self._positions = positions_xy
         self._density_buckets: dict[float, _DensityBuckets] = {}
+        self._density_memo: dict[tuple[float, float, float], float] | None = None
 
     @classmethod
     def from_database(
@@ -424,6 +429,44 @@ class CompiledFingerprintDatabase:
         if not rssi_dbm:
             n_keys = self._n_keys if rows is None else self._n_keys[rows]
             out = np.where(n_keys == 0, np.inf, out)
+        return out
+
+    def distances_batch(
+        self, scans: Sequence[dict[str, float]]
+    ) -> Annotated[np.ndarray, Shape("(K, E)")]:
+        """Return the RSSI distances of ``K`` scans to every entry at once.
+
+        Row ``k`` is **bit-identical** to ``distances(scans[k])``: scans
+        are lowered to the same dense vectors plus out-of-vocabulary
+        offsets, and the squared-difference reduction runs over the same
+        transmitter axis — stacking scans only adds a leading dimension.
+        This is the population core's per-scheme matcher: one matrix
+        evaluation replaces ``K`` per-walker passes over the survey.
+        """
+        n_keys = len(self.transmitter_ids)
+        vectors = np.full((len(scans), n_keys), MISSING_RSSI_DBM)
+        extras = np.zeros(len(scans))
+        for k, scan in enumerate(scans):
+            extra = 0.0
+            for key, value in scan.items():
+                j = self._column.get(key)
+                if j is None:
+                    diff = value - MISSING_RSSI_DBM
+                    extra += diff * diff
+                else:
+                    vectors[k, j] = value
+            extras[k] = extra
+        out = np.empty((len(scans), len(self.entries)))
+        # Scan-chunked: rows are independent, and chunking bounds the
+        # (chunk, E, F) difference tensor at city-scale populations.
+        for lo in range(0, len(scans), 128):
+            hi = lo + 128
+            difference = self.matrix[None, :, :] - vectors[lo:hi, None, :]
+            squared = (difference * difference).sum(axis=2) + extras[lo:hi, None]
+            out[lo:hi] = np.sqrt(squared)
+        for k, scan in enumerate(scans):
+            if not scan:
+                out[k] = np.where(self._n_keys == 0, np.inf, out[k])
         return out
 
     def _top(self, rssi_dbm: dict[str, float], k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -476,6 +519,20 @@ class CompiledFingerprintDatabase:
             return 0.0
         return float(np.std(finite))
 
+    def enable_density_memo(self) -> None:
+        """Memoize :meth:`spatial_density_around` by exact query point.
+
+        The population core's feature pre-pass: densities are pure
+        functions of ``(point, radius)``, and a population of walkers on
+        shared paths queries the same HMM-predicted grid centers over and
+        over — one lane pays the scalar cost, every other lane reuses the
+        exact float (bit-identity is free because the memo stores the
+        scalar function's own output).  Off by default so standalone
+        callers keep the historical zero-state behavior.
+        """
+        if self._density_memo is None:
+            self._density_memo = {}
+
     def spatial_density_around(self, point: Point, radius_m: float = 15.0) -> float:
         """Return the beta_1 feature via the KD-grid (no O(n^2) scan).
 
@@ -484,6 +541,20 @@ class CompiledFingerprintDatabase:
         the (floored) distance to the closest entry when fewer than two
         are in range.
         """
+        memo = self._density_memo
+        if memo is not None:
+            key = (point.x, point.y, radius_m)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+        value = self._spatial_density(point, radius_m)
+        if memo is not None:
+            if len(memo) >= _DENSITY_MEMO_MAX:
+                memo.clear()
+            memo[key] = value
+        return value
+
+    def _spatial_density(self, point: Point, radius_m: float) -> float:
         buckets = self._density_buckets.get(radius_m)
         if buckets is None:
             buckets = _DensityBuckets(self._positions, radius_m)

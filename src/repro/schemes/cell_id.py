@@ -36,8 +36,8 @@ class CellIdScheme(LocalizationScheme):
     def __post_init__(self) -> None:
         regions: dict[str, list[Point]] = defaultdict(list)
         for entry in self.database.entries:
-            if entry.rssi:
-                regions[_strongest(entry.rssi)].append(entry.position)
+            if entry.rssi_dbm:
+                regions[_strongest(entry.rssi_dbm)].append(entry.position)
         self._regions = dict(regions)
         if not self._regions:
             raise ValueError("survey contains no audible towers")

@@ -12,9 +12,12 @@ bad RSSI actively drags the cloud away from the truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Annotated
 
 import numpy as np
 from scipy.spatial import cKDTree
+
+from repro.shapes import Shape
 
 from repro.radio import FingerprintDatabase
 from repro.radio.kernels import compile_fingerprints
@@ -68,6 +71,25 @@ class FusionScheme(PdrScheme):
         unique = np.unique(indices)
         unique_scores = self._fp_index.distances(scan, rows=unique)
         per_particle = unique_scores[np.searchsorted(unique, indices)]
+        self._apply_rssi_factors(per_particle, distances)
+
+    def _apply_rssi_factors(
+        self,
+        per_particle: Annotated[np.ndarray, Shape("(P,)")],
+        distances: Annotated[np.ndarray, Shape("(P,)")],
+    ) -> None:
+        """Turn per-particle RSSI distances into likelihood re-weighting.
+
+        Split out of :meth:`_rssi_update` so the population core can
+        evaluate the tree query and RSSI distances for many lanes in one
+        pass and still run each lane's re-weighting through this exact
+        scalar tail.
+
+        Args:
+            per_particle: RSSI distance of each particle's nearest
+                offline fingerprint.
+            distances: map distance of each particle to that fingerprint.
+        """
         finite = np.isfinite(per_particle)
         if not finite.any():
             return

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Annotated, Sequence
 
 import numpy as np
 
 from repro.geometry import Point
+from repro.shapes import Shape
 from repro.world import Place
 
 
@@ -123,9 +125,16 @@ class ParticleFilter:
             return np.ones(n, dtype=bool)
         in_corridor = self._in_corridor_mask(positions)
         indoor = np.zeros(n, dtype=bool)
+        px = positions[:, None, 0]
+        py = positions[:, None, 1]
         for verts, normals in self._indoor_regions:
-            diff = positions[:, None, :] - verts[None, :, :]  # (n, e, 2)
-            side = (diff * normals[None, :, :]).sum(axis=2)  # (n, e)
+            # Componentized (p - v) . normal: identical additions in the
+            # same order as a stacked (n, e, 2) product-and-reduce, but
+            # without materializing the 3-D temporaries — at population
+            # scale the stacked form is memory-bound, not compute-bound.
+            side = (px - verts[None, :, 0]) * normals[None, :, 0] + (
+                py - verts[None, :, 1]
+            ) * normals[None, :, 1]  # (n, e)
             inside = (side >= -1e-9).all(axis=1) | (side <= 1e-9).all(axis=1)
             indoor |= inside
         return in_corridor | ~indoor
@@ -138,10 +147,18 @@ class ParticleFilter:
         d = ends - starts  # (m, 2)
         seg_len2 = np.maximum((d * d).sum(axis=1), 1e-12)  # (m,)
         # t[i, j]: projection parameter of particle i on corridor j.
-        diff = positions[:, None, :] - starts[None, :, :]  # (n, m, 2)
-        t = np.clip((diff * d[None, :, :]).sum(axis=2) / seg_len2, 0.0, 1.0)
-        closest = starts[None, :, :] + t[:, :, None] * d[None, :, :]
-        dist = np.linalg.norm(positions[:, None, :] - closest, axis=2)  # (n, m)
+        # Componentized per coordinate: the same multiplies and two-term
+        # additions, in the same order, as the stacked (n, m, 2) form,
+        # but with only (n, m) temporaries (cache-resident at population
+        # scale).
+        dx = positions[:, None, 0] - starts[None, :, 0]  # (n, m)
+        dy = positions[:, None, 1] - starts[None, :, 1]
+        t = np.clip(
+            (dx * d[None, :, 0] + dy * d[None, :, 1]) / seg_len2, 0.0, 1.0
+        )
+        ex = positions[:, None, 0] - (starts[None, :, 0] + t * d[None, :, 0])
+        ey = positions[:, None, 1] - (starts[None, :, 1] + t * d[None, :, 1])
+        dist = np.sqrt(ex * ex + ey * ey)  # (n, m)
         return (dist <= half_widths[None, :]).any(axis=1)
 
     def predict(self, step_length: float, heading: float) -> None:
@@ -257,3 +274,150 @@ class ParticleFilter:
             self.weights = np.full(self.n_particles, 1.0 / self.n_particles)
         else:
             self.weights /= total
+
+
+# --------------------------------------------------------------------------
+# Lane-batched twins (the population core's ``(K, P, 2)`` tensor update)
+# --------------------------------------------------------------------------
+
+#: Rows per stacked geometry evaluation in :func:`predict_lanes`; sized so
+#: the (rows, walls) mask temporaries stay cache-resident.
+_PREDICT_CHUNK_ROWS = 4096
+
+
+def _batchable(filters: Sequence[ParticleFilter]) -> bool:
+    """True when all filters share one map and one parameter set.
+
+    The lane-batched kernels stack clouds into one tensor and evaluate
+    the map constraint once over all ``K * P`` rows, which is only valid
+    (and only bit-identical) when every lane queries the same geometry
+    with the same noise parameters.
+    """
+    base = filters[0]
+    return all(
+        f.place is base.place
+        and f.n_particles == base.n_particles
+        and f.heading_noise_std == base.heading_noise_std
+        and f.position_noise_std == base.position_noise_std
+        and f.scale_noise_std == base.scale_noise_std
+        for f in filters
+    )
+
+
+def predict_lanes(
+    filters: Sequence[ParticleFilter],
+    step_lengths_m: Sequence[float],
+    headings: Sequence[float],
+) -> None:
+    """Advance ``K`` particle filters by one step each, as one tensor update.
+
+    Bit-identical to calling ``filters[k].predict(step_lengths_m[k],
+    headings[k])`` for each lane in order: every random draw comes from
+    the lane's own generator in the scalar draw order (heading noise,
+    position noise, scale noise), and the batched geometry masks
+    (:meth:`ParticleFilter.walkable_mask`, wall crossing) are
+    row-independent reductions, so stacking lanes changes no value.
+    Lanes with differing maps or parameters fall back to the scalar loop.
+    """
+    if not filters:
+        return
+    if not _batchable(filters):
+        for f, length, heading in zip(filters, step_lengths_m, headings):
+            f.predict(length, heading)
+        return
+    base = filters[0]
+    n = base.n_particles
+    # Process lanes in cache-sized groups: the stacked geometry masks are
+    # memory-bound, and a (K * P, m) temporary for a 1000-walker city
+    # thrashes every cache level.  Lane RNG streams are independent and
+    # each lane's draw order is preserved inside its group, so grouping
+    # changes no value.
+    group = max(1, _PREDICT_CHUNK_ROWS // n)
+    if len(filters) > group:
+        for lo in range(0, len(filters), group):
+            predict_lanes(
+                filters[lo : lo + group],
+                step_lengths_m[lo : lo + group],
+                headings[lo : lo + group],
+            )
+        return
+    # Per-lane RNG draws, in the exact scalar order per generator.
+    noisy_headings = np.stack(
+        [
+            heading + f._rng.normal(0.0, f.heading_noise_std, n)
+            for f, heading in zip(filters, headings)
+        ]
+    )
+    positions: Annotated[np.ndarray, Shape("(K, P, 2)")] = np.stack(
+        [f.positions for f in filters]
+    )
+    scales = np.stack([f.scales for f in filters])
+    weights = np.stack([f.weights for f in filters])
+    lengths = np.asarray(step_lengths_m, dtype=float)[:, None] * scales
+    proposed = positions + np.stack(
+        [lengths * np.cos(noisy_headings), lengths * np.sin(noisy_headings)],
+        axis=2,
+    )
+    for k, f in enumerate(filters):
+        proposed[k] += f._rng.normal(0.0, f.position_noise_std, (n, 2))
+    flat_old = positions.reshape(-1, 2)
+    flat_new = proposed.reshape(-1, 2)
+    mask = (
+        base.walkable_mask(flat_new) & ~base._crosses_wall(flat_old, flat_new)
+    ).reshape(len(filters), n)
+    new_positions = np.where(mask[:, :, None], proposed, positions)
+    new_weights = np.where(mask, weights, weights * 0.05)
+    for k, f in enumerate(filters):
+        scales[k] += f._rng.normal(0.0, f.scale_noise_std, n)
+    scales = np.clip(scales, 0.6, 1.4)
+    for k, f in enumerate(filters):
+        f.positions = new_positions[k]
+        f.weights = new_weights[k]
+        f.scales = scales[k]
+        f._renormalize()
+
+
+def estimate_lanes(
+    filters: Sequence[ParticleFilter],
+) -> list[tuple[Point, float]]:
+    """Return each filter's ``(mean position, spread)`` via one batched pass.
+
+    Bit-identical to per-lane :meth:`ParticleFilter.estimate`: the
+    weighted-mean and variance reductions run over axis 1 of the stacked
+    ``(K, P, 2)`` tensor, which numpy evaluates with the same pairwise
+    summation order as the scalar per-cloud reduction.
+    """
+    if not filters:
+        return []
+    if not all(f.n_particles == filters[0].n_particles for f in filters):
+        return [f.estimate() for f in filters]
+    positions = np.stack([f.positions for f in filters])
+    weights = np.stack([f.weights for f in filters])
+    means = (positions * weights[:, :, None]).sum(axis=1)
+    centered = positions - means[:, None, :]
+    variances = (weights[:, :, None] * centered**2).sum(axis=1).sum(axis=1)
+    return [
+        (
+            Point(float(mean[0]), float(mean[1])),
+            float(math.sqrt(max(float(var), 0.0))),
+        )
+        for mean, var in zip(means, variances)
+    ]
+
+
+def effective_sample_sizes(
+    filters: Sequence[ParticleFilter],
+) -> Annotated[np.ndarray, Shape("(K,)")]:
+    """Return every filter's ESS from one stacked reduction.
+
+    Row sums of the ``(K, P)`` squared-weight tensor are bit-identical
+    to the per-lane :meth:`ParticleFilter.effective_sample_size` sums,
+    so thresholding this array reproduces the scalar resampling decision
+    exactly.
+    """
+    if not filters:
+        return np.empty(0)
+    if not all(f.n_particles == filters[0].n_particles for f in filters):
+        return np.array([f.effective_sample_size() for f in filters])
+    weights = np.stack([f.weights for f in filters])
+    return 1.0 / np.sum(weights**2, axis=1)

@@ -86,7 +86,7 @@ class PdrScheme(LocalizationScheme):
         """Integrate compensated steps; return the walked distance."""
         walked = 0.0
         for length in compensate_steps(snapshot.imu.step_events):
-            self._pf.predict(length, snapshot.imu.heading)
+            self._pf.predict(length, snapshot.imu.heading_rad)
             walked += length
         self.distance_since_landmark += walked
         return walked
@@ -106,6 +106,18 @@ class PdrScheme(LocalizationScheme):
     def _output(self, snapshot: SensorSnapshot) -> SchemeOutput:
         """Build the scheme output from the current cloud."""
         position, spread = self._pf.estimate()
+        return self._output_from(snapshot, position, spread)
+
+    def _output_from(
+        self, snapshot: SensorSnapshot, position: Point, spread: float
+    ) -> SchemeOutput:
+        """Build the scheme output around an already-computed estimate.
+
+        The population core computes lane estimates in one tensor pass
+        (:func:`~repro.schemes.particle_filter.estimate_lanes`) and hands
+        each lane its own ``(position, spread)`` here, so the output
+        schema and quality features stay in exactly one place.
+        """
         return SchemeOutput(
             position=position,
             spread=spread,

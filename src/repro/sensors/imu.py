@@ -53,7 +53,7 @@ class ImuReading:
     """The inertial pipeline's output for one walking moment."""
 
     step_events: tuple[StepEvent, ...]
-    heading: float
+    heading_rad: float
     heading_bias: float  # exposed for analysis/tests only; schemes must not read it
     orientation_change_rate: float
     magnetic_sigma_ut: float
@@ -94,15 +94,15 @@ class ImuSimulator:
         if self._last_heading is None:
             change_rate = 0.0
         else:
-            dt = max(moment.step_period, 1e-3)
-            change_rate = abs(heading - self._last_heading) / dt
+            dt_s = max(moment.step_period, 1e-3)
+            change_rate = abs(heading - self._last_heading) / dt_s
         self._last_heading = heading
         measured_sigma = max(
             0.0, magnetic_sigma_ut + float(self.rng.normal(0.0, 0.5))
         )
         return ImuReading(
             step_events=events,
-            heading=heading,
+            heading_rad=heading,
             heading_bias=self._bias,
             orientation_change_rate=change_rate,
             magnetic_sigma_ut=measured_sigma,

@@ -11,10 +11,16 @@ different radio conditions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.geometry import Grid, Point, Polygon, Polyline
 from repro.world.environment import EnvironmentType, is_indoor, profile_of
 from repro.world.floorplan import FloorPlan
+
+
+# Bound on memoized corridor-width entries before the cache resets; walk
+# queries are grid-snapped so real populations stay far below this.
+_WIDTH_MEMO_MAX = 100_000
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,22 @@ class Place:
     floorplan: FloorPlan
     paths: dict[str, Path] = field(default_factory=dict)
 
+    # Populated per-instance by enable_feature_memo(); a ClassVar default
+    # keeps it out of the dataclass field list (and out of eq/repr).
+    _width_memo: ClassVar[dict[tuple[float, float], float] | None] = None
+
+    def enable_feature_memo(self) -> None:
+        """Memoize :meth:`corridor_width_at` by exact query point.
+
+        Geometry features are pure functions of the query point, and a
+        walker population repeatedly evaluates them at the same
+        grid-snapped HMM predictions — so the first lane pays the scalar
+        floor-plan scan and every other lane reuses the exact float.
+        Off by default to keep standalone ``Place`` uses stateless.
+        """
+        if self._width_memo is None:
+            self._width_memo = {}
+
     def environment_at(self, point: Point) -> EnvironmentType:
         """Return the environment label at ``point``."""
         for region in self.regions:
@@ -71,8 +93,19 @@ class Place:
 
     def corridor_width_at(self, point: Point) -> float:
         """Return the corridor width feature (beta_2 of the PDR model)."""
+        memo = self._width_memo
+        if memo is not None:
+            key = (point.x, point.y)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
         default = profile_of(self.environment_at(point)).default_corridor_width_m
-        return self.floorplan.corridor_width_at(point, default)
+        value = self.floorplan.corridor_width_at(point, default)
+        if memo is not None:
+            if len(memo) >= _WIDTH_MEMO_MAX:
+                memo.clear()
+            memo[key] = value
+        return value
 
     def grid(self, cell_size: float = 2.0) -> Grid:
         """Return a regular grid over the place for BMA posteriors."""

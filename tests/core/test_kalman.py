@@ -22,7 +22,7 @@ def test_first_observation_anchors():
 
 def test_tracks_constant_velocity():
     """Walking east at 1.4 m/s, predictions lead the last observation."""
-    kf = KalmanLocationPredictor(dt=0.5)
+    kf = KalmanLocationPredictor(dt_s=0.5)
     for i in range(30):
         kf.observe(Point(0.7 * i, 0.0))
     vx, vy = kf.velocity()
@@ -35,7 +35,7 @@ def test_tracks_constant_velocity():
 def test_noise_rejection_beats_raw_observations():
     """Prediction error under noisy observations is below the noise."""
     rng = np.random.default_rng(0)
-    kf = KalmanLocationPredictor(dt=0.5, observation_noise_m=2.0)
+    kf = KalmanLocationPredictor(dt_s=0.5, observation_noise_m=2.0)
     errors = []
     for i in range(200):
         truth = Point(0.7 * i, 0.0)
@@ -48,7 +48,7 @@ def test_noise_rejection_beats_raw_observations():
 
 
 def test_turn_is_followed_with_lag():
-    kf = KalmanLocationPredictor(dt=0.5, process_noise=2.0)
+    kf = KalmanLocationPredictor(dt_s=0.5, process_noise=2.0)
     for i in range(20):
         kf.observe(Point(0.7 * i, 0.0))
     corner = Point(0.7 * 19, 0.0)
@@ -76,7 +76,7 @@ def test_reset():
 
 def test_invalid_dt():
     with pytest.raises(ValueError):
-        KalmanLocationPredictor(dt=0.0)
+        KalmanLocationPredictor(dt_s=0.0)
 
 
 def test_framework_accepts_kalman_predictor(office_system):

@@ -76,4 +76,4 @@ def test_surveys_reproducible(radio):
     points = [path.polyline.point_at_distance(float(s)) for s in range(0, 100, 5)]
     a = radio.survey_wifi(points, np.random.default_rng(9))
     b = radio.survey_wifi(points, np.random.default_rng(9))
-    assert [e.rssi for e in a.entries] == [e.rssi for e in b.entries]
+    assert [e.rssi_dbm for e in a.entries] == [e.rssi_dbm for e in b.entries]

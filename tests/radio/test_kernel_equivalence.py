@@ -235,7 +235,7 @@ entry_strategy = st.builds(
         st.floats(min_value=-50.0, max_value=50.0),
         st.floats(min_value=-50.0, max_value=50.0),
     ),
-    rssi=st.dictionaries(
+    rssi_dbm=st.dictionaries(
         st.sampled_from([f"ap{i}" for i in range(6)]), finite_rssi, max_size=6
     ),
 )

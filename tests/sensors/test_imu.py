@@ -69,7 +69,7 @@ class TestHeading:
         errors = []
         for i in range(1, 300):
             reading = imu.sense(make_moment(index=i, heading=0.3), magnetic_sigma_ut=1.5)
-            errors.append(abs(reading.heading - 0.3))
+            errors.append(abs(reading.heading_rad - 0.3))
         assert np.mean(errors) < 0.15
 
     def test_bias_larger_in_disturbed_field(self):

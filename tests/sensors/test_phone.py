@@ -32,7 +32,7 @@ def test_recording_reproducible(fixture):
     a = Smartphone(radio, NEXUS_5X).record_walk(walk, seed=7)
     b = Smartphone(radio, NEXUS_5X).record_walk(walk, seed=7)
     assert a[10].wifi_scan == b[10].wifi_scan
-    assert a[10].imu.heading == b[10].imu.heading
+    assert a[10].imu.heading_rad == b[10].imu.heading_rad
 
 
 def test_device_offset_shows_in_scans(fixture):

@@ -30,7 +30,7 @@ class TestFingerprints:
         loaded = load_fingerprints(path)
         assert len(loaded) == 2
         assert loaded.entries[0].position == db.entries[0].position
-        assert loaded.entries[0].rssi == db.entries[0].rssi
+        assert loaded.entries[0].rssi_dbm == db.entries[0].rssi_dbm
 
     def test_format_check(self, tmp_path):
         path = tmp_path / "bad.json"
@@ -104,7 +104,7 @@ class TestTraces:
         for a, b in zip(snaps, loaded):
             assert a.index == b.index
             assert a.wifi_scan == b.wifi_scan
-            assert a.imu.heading == b.imu.heading
+            assert a.imu.heading_rad == b.imu.heading_rad
             assert a.gps.n_satellites == b.gps.n_satellites
             assert len(a.detected_landmarks) == len(b.detected_landmarks)
 
